@@ -1,0 +1,39 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table/figure of the paper's evaluation via
+:mod:`repro.bench.experiments` and prints it (run with ``-s`` to see the
+tables inline); the reports are also appended to
+``benchmarks/out/reports.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "reports.txt"
+    handle = open(path, "a")
+    yield handle
+    handle.close()
+
+
+@pytest.fixture
+def emit(report_sink, capsys):
+    """Print a report and persist it."""
+
+    def _emit(report) -> None:
+        text = str(report)
+        with capsys.disabled():
+            print("\n" + text)
+        report_sink.write(text + "\n\n")
+        report_sink.flush()
+
+    return _emit

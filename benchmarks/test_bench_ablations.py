@@ -1,0 +1,62 @@
+"""Ablation benches: reordering, stealing, and task-granularity choices.
+
+Not a paper table -- these quantify the contribution of each design
+decision DESIGN.md calls out, including the paper's future-work item of
+alternative reordering schemes (Hilbert curve).
+"""
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.builders import alkane
+from repro.fock.ablation import (
+    granularity_ablation,
+    reordering_ablation,
+    stealing_ablation,
+)
+from repro.fock.reorder import reorder_basis
+from repro.fock.screening_map import ScreeningMap
+from repro.integrals.schwarz import schwarz_model
+
+
+def _scrambled(n=14):
+    basis = BasisSet.build(alkane(n), "vdz-sim")
+    rng = np.random.default_rng(0)
+    return basis.permuted(rng.permutation(basis.nshells))
+
+
+def test_bench_reordering_ablation(benchmark, emit):
+    rows = benchmark.pedantic(
+        reordering_ablation, args=(_scrambled(),), kwargs={"cores": 384},
+        rounds=1, iterations=1,
+    )
+    emit("Ablation: shell ordering\n" + "\n".join(f"  {r}" for r in rows))
+    by = {r.label: r.metrics for r in rows}
+    assert by["natural"]["comm_mb_per_proc"] < by["none"]["comm_mb_per_proc"]
+    assert by["hilbert"]["comm_mb_per_proc"] < by["none"]["comm_mb_per_proc"]
+
+
+def test_bench_stealing_ablation(benchmark, emit):
+    basis = reorder_basis(BasisSet.build(alkane(14), "vdz-sim"))
+    screen = ScreeningMap(basis, schwarz_model(basis), 1e-10)
+    rows = benchmark.pedantic(
+        stealing_ablation, args=(basis, screen), kwargs={"cores": 1944},
+        rounds=1, iterations=1,
+    )
+    emit("Ablation: work stealing\n" + "\n".join(f"  {r}" for r in rows))
+    by = {r.label: r.metrics for r in rows}
+    assert by["steal-0.5"]["load_balance"] < by["no-stealing"]["load_balance"]
+
+
+def test_bench_granularity_ablation(benchmark, emit):
+    basis = reorder_basis(BasisSet.build(alkane(14), "vdz-sim"))
+    screen = ScreeningMap(basis, schwarz_model(basis), 1e-10)
+    rows = benchmark.pedantic(
+        granularity_ablation, args=(basis, screen), kwargs={"cores": 1944},
+        rounds=1, iterations=1,
+    )
+    emit("Ablation: task granularity\n" + "\n".join(f"  {r}" for r in rows))
+    # coarser tasks cannot balance better than fine tasks (with stealing)
+    fine = rows[0].metrics["load_balance"]
+    coarse = rows[-1].metrics["load_balance"]
+    assert coarse >= fine - 1e-9

@@ -1,0 +1,13 @@
+"""Figure 1: D-matrix footprint of one task vs a block of tasks."""
+
+from repro.bench.experiments import figure1_footprint
+
+
+def test_bench_figure1(benchmark, emit):
+    report = benchmark.pedantic(figure1_footprint, rounds=1, iterations=1)
+    emit(report)
+    d = report.data
+    # the whole point of the reordering: union footprint grows far
+    # slower than per-task scaling (paper: ~80x instead of 2500x)
+    assert d["ratio"] < 0.25 * d["naive_ratio"]
+    assert d["single_task_elements"] > 0

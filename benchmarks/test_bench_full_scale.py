@@ -1,0 +1,56 @@
+"""Full-size spot check: the paper's exact C96H24 at high core counts.
+
+Skipped unless ``REPRO_FULL=1`` (minutes of runtime): simulates the real
+648-shell graphene flake and asserts the crossover and overhead relations
+at the paper's own molecule size, removing the scaled-suite artifacts
+documented in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import format_table, molecule_setup
+from repro.chem.builders import graphene_flake
+from repro.fock.simulate import simulate_gtfock, simulate_nwchem
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_FULL", "0") != "1",
+    reason="full-size run; set REPRO_FULL=1",
+)
+
+
+def test_bench_full_c96h24(benchmark, emit):
+    setup = molecule_setup("C96H24-full", graphene_flake(4))
+
+    def run():
+        rows = []
+        out = {}
+        for cores in (768, 1944, 3888):
+            g = simulate_gtfock(
+                setup.basis, setup.screen, cores, config=setup.config,
+                costs=setup.costs,
+            )
+            n = simulate_nwchem(
+                setup.basis, setup.screen, cores, config=setup.config,
+                costs=setup.costs,
+            )
+            out[cores] = (g, n)
+            rows.append(
+                [cores, g.t_fock_max, n.t_fock_max, g.t_overhead_avg,
+                 n.t_overhead_avg, g.steals_avg, g.load_balance]
+            )
+        return rows, out
+
+    rows, out = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["cores", "GT t", "NW t", "GT ov", "NW ov", "s", "l"],
+            rows,
+            title="Full-size C96H24 (648 shells)",
+        )
+    )
+    g, n = out[3888]
+    assert g.t_fock_max < n.t_fock_max  # crossover by 3888 cores
+    assert g.t_overhead_avg < n.t_overhead_avg
+    assert g.load_balance < 1.1

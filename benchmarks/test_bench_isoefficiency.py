@@ -1,0 +1,60 @@
+"""Isoefficiency (Sec III-G): nshells = O(sqrt p) keeps efficiency flat.
+
+Weak-scaling sweep over alkanes whose shell count grows like sqrt(cores),
+measuring the simulated overhead fraction; contrasted with strong scaling
+at fixed molecule size where the overhead fraction must grow.
+"""
+
+from repro.bench.harness import format_table, molecule_setup
+from repro.chem.builders import alkane
+from repro.fock.simulate import simulate_gtfock
+
+
+def _overhead_fraction(setup, cores):
+    sim = simulate_gtfock(
+        setup.basis, setup.screen, cores, config=setup.config, costs=setup.costs
+    )
+    return sim.t_overhead_avg / sim.t_comp_avg, sim
+
+
+def test_bench_isoefficiency(benchmark, emit):
+    # nshells = 12 n_C + 6: 102, 198, 390 -- ratios ~1 : 1.9 : 3.8
+    # cores scaled ~ (nshells ratio)^2: 192, 768, 3072
+    weak_pairs = [(8, 192), (16, 768), (32, 3072)]
+
+    def run():
+        rows = []
+        weak_fracs = []
+        for n_c, cores in weak_pairs:
+            setup = molecule_setup(f"iso-C{n_c}", alkane(n_c))
+            frac, sim = _overhead_fraction(setup, cores)
+            weak_fracs.append(frac)
+            rows.append(
+                ["weak", f"C{n_c}H{2*n_c+2}", setup.basis.nshells, cores,
+                 sim.t_comp_avg, sim.t_overhead_avg, frac]
+            )
+        strong_fracs = []
+        setup = molecule_setup("iso-C8", alkane(8))
+        for cores in (192, 768, 3072):
+            frac, sim = _overhead_fraction(setup, cores)
+            strong_fracs.append(frac)
+            rows.append(
+                ["strong", "C8H18", setup.basis.nshells, cores,
+                 sim.t_comp_avg, sim.t_overhead_avg, frac]
+            )
+        return rows, weak_fracs, strong_fracs
+
+    rows, weak_fracs, strong_fracs = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            ["mode", "molecule", "shells", "cores", "Tcomp", "Tov", "Tov/Tcomp"],
+            rows,
+            title="Isoefficiency: weak scaling (n ~ sqrt p) vs strong scaling",
+        )
+    )
+    # strong scaling degrades much faster than weak scaling
+    strong_growth = strong_fracs[-1] / max(strong_fracs[0], 1e-12)
+    weak_growth = weak_fracs[-1] / max(weak_fracs[0], 1e-12)
+    assert strong_growth > 2.0 * weak_growth

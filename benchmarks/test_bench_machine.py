@@ -1,0 +1,20 @@
+"""Table I: machine parameters used by the simulated cluster."""
+
+from repro.bench.paper_data import TABLE1_MACHINE
+from repro.runtime.machine import LONESTAR
+
+
+def test_bench_table1_machine(benchmark, emit):
+    def build():
+        return LONESTAR.transfer_time(1_000_000, 10)
+
+    benchmark(build)
+    lines = ["Table I: simulated machine (Lonestar)"]
+    lines.append(f"  paper per-node parameters: {TABLE1_MACHINE}")
+    lines.append(
+        f"  model: bandwidth={LONESTAR.bandwidth:.1e} B/s, "
+        f"latency={LONESTAR.latency:.1e} s, cores/node={LONESTAR.cores_per_node}, "
+        f"t_int(GTFock)={LONESTAR.t_int_gtfock*1e6:.2f} us, "
+        f"t_int(NWChem)={LONESTAR.t_int_nwchem*1e6:.2f} us"
+    )
+    emit("\n".join(lines))

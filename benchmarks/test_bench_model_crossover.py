@@ -1,0 +1,14 @@
+"""Sec III-G analysis: overhead ratio L(p), efficiency, crossover speedup."""
+
+from repro.bench.experiments import model_analysis
+
+
+def test_bench_model(benchmark, emit):
+    report = benchmark.pedantic(model_analysis, rounds=1, iterations=1)
+    emit(report)
+    for mol, d in report.data.items():
+        # the model agrees with the measurement: compute-dominated today
+        assert d["L(p)"] < 1.0, mol
+        assert d["efficiency"] > 0.5, mol
+        # integrals must speed up a lot before communication dominates
+        assert d["integral_speedup_to_crossover"] > 5.0, mol

@@ -1,0 +1,21 @@
+"""Table II: test molecules -- atoms, shells, functions, unique quartets."""
+
+from repro.bench.experiments import table2_molecules
+
+
+def test_bench_table2(benchmark, emit):
+    report = benchmark.pedantic(table2_molecules, rounds=1, iterations=1)
+    emit(report)
+    for name, row in report.data.items():
+        assert row["unique_shell_quartets"] > 0
+        assert row["shells"] == 6 * _nc(name) + 3 * _nh(name)
+
+
+def _nc(name: str) -> int:
+    formula = name.split()[0]
+    return int(formula[1 : formula.index("H")])
+
+
+def _nh(name: str) -> int:
+    formula = name.split()[0]
+    return int(formula[formula.index("H") + 1 :])

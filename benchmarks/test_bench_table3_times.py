@@ -1,0 +1,18 @@
+"""Table III: Fock construction time, GTFock vs NWChem, over core counts."""
+
+from repro.bench.experiments import table3_times
+
+
+def test_bench_table3(benchmark, emit):
+    report = benchmark.pedantic(table3_times, rounds=1, iterations=1)
+    emit(report)
+    for mol, algs in report.data.items():
+        cores = sorted(algs["gtfock"])
+        # shape target: NWChem faster at the smallest core count ...
+        assert algs["nwchem"][cores[0]] < algs["gtfock"][cores[0]]
+        # ... and GTFock competitive-or-better at the largest
+        ratio = algs["gtfock"][cores[-1]] / algs["nwchem"][cores[-1]]
+        assert ratio < 1.4, f"{mol}: GTFock/NWChem at max cores = {ratio:.2f}"
+        # both scale: max-core time well below min-core time
+        for alg in ("gtfock", "nwchem"):
+            assert algs[alg][cores[-1]] < algs[alg][cores[0]] / 50

@@ -1,0 +1,15 @@
+"""Table IV: speedup relative to the fastest 12-core time."""
+
+from repro.bench.experiments import table4_speedup
+from repro.bench.harness import CORE_COUNTS
+
+
+def test_bench_table4(benchmark, emit):
+    report = benchmark.pedantic(table4_speedup, rounds=1, iterations=1)
+    emit(report)
+    top = CORE_COUNTS[-1]
+    for mol, sp in report.data.items():
+        # paper: GTFock has better speedup at 3888 cores on every molecule
+        assert sp["gtfock"][top] > sp["nwchem"][top], mol
+        # speedups are substantial (hundreds at thousands of cores)
+        assert sp["gtfock"][top] > 0.25 * (top / CORE_COUNTS[0])

@@ -1,0 +1,15 @@
+"""Table V: measured time per ERI for the two real integral engines."""
+
+from repro.bench.experiments import table5_t_int
+
+
+def test_bench_table5(benchmark, emit):
+    report = benchmark.pedantic(
+        table5_t_int, kwargs={"max_shell_pairs": 30}, rounds=1, iterations=1
+    )
+    emit(report)
+    for mol, vals in report.data.items():
+        assert vals["MD"] > 0 and vals["OS"] > 0
+        # the two engines are within two orders of magnitude of each other
+        ratio = vals["MD"] / vals["OS"]
+        assert 0.01 < ratio < 100

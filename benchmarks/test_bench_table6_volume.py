@@ -1,0 +1,14 @@
+"""Table VI: average Global Arrays communication volume per process."""
+
+from repro.bench.experiments import table6_volume
+from repro.bench.harness import CORE_COUNTS
+
+
+def test_bench_table6(benchmark, emit):
+    report = benchmark.pedantic(table6_volume, rounds=1, iterations=1)
+    emit(report)
+    small = CORE_COUNTS[0]
+    for mol, algs in report.data.items():
+        # paper: GTFock's prefetch-once volume is far below NWChem's
+        # per-task re-fetching at small/medium core counts
+        assert algs["gtfock"][small] < algs["nwchem"][small], mol

@@ -1,0 +1,12 @@
+"""Table VII: average number of one-sided communication calls per process."""
+
+from repro.bench.experiments import table7_calls
+
+
+def test_bench_table7(benchmark, emit):
+    report = benchmark.pedantic(table7_calls, rounds=1, iterations=1)
+    emit(report)
+    for mol, algs in report.data.items():
+        for cores in algs["gtfock"]:
+            # paper: lower call counts for GTFock in every case
+            assert algs["gtfock"][cores] < algs["nwchem"][cores], (mol, cores)

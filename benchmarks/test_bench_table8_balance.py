@@ -1,0 +1,12 @@
+"""Table VIII: work-stealing load balance ratio l = T_max / T_avg."""
+
+from repro.bench.experiments import table8_load_balance
+
+
+def test_bench_table8(benchmark, emit):
+    report = benchmark.pedantic(table8_load_balance, rounds=1, iterations=1)
+    emit(report)
+    for mol, balances in report.data.items():
+        for cores, l in balances.items():
+            # paper Table VIII: l stays near 1 (well balanced) everywhere
+            assert 1.0 <= l < 1.5, (mol, cores, l)

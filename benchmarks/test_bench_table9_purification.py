@@ -1,0 +1,15 @@
+"""Table IX: purification's share of the HF iteration (C150H30 class)."""
+
+from repro.bench.experiments import table9_purification
+
+
+def test_bench_table9(benchmark, emit):
+    report = benchmark.pedantic(table9_purification, rounds=1, iterations=1)
+    emit(report)
+    percents = [row["percent"] for row in report.data.values()]
+    # paper: 1-15% of the iteration across core counts
+    assert min(percents) < 20.0
+    assert all(p < 60.0 for p in percents)
+    # share grows with core count (purification scales worse than Fock)
+    cores = sorted(report.data)
+    assert report.data[cores[-1]]["percent"] >= report.data[cores[0]]["percent"]

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Molecular structure vs parallel behaviour (Sec III-G's discussion).
+
+The paper's model predicts that (a) densely packed 3-D systems have large
+significant sets B, making computation dominate, while (b) sparse 1-D
+chains screen away most quartets, so parallel overhead matters sooner;
+and (c) heterogeneous/irregular systems increase the steal count s.
+
+This demo quantifies all three across a 1-D alkane, a 2-D graphene
+flake, and a 3-D water cluster of comparable shell counts.
+
+Usage:  python examples/heterogeneous_systems.py
+"""
+
+from repro.bench.harness import format_table
+from repro.chem import alkane, graphene_flake, water_cluster
+from repro.chem.basis.basisset import BasisSet
+from repro.fock.cost import quartet_cost_matrix
+from repro.fock.reorder import reorder_basis
+from repro.fock.screening_map import ScreeningMap
+from repro.fock.simulate import simulate_gtfock
+from repro.integrals.schwarz import schwarz_model
+from repro.model.perfmodel import PerfModel
+from repro.runtime.machine import LONESTAR
+
+
+def main() -> None:
+    systems = {
+        "alkane C30H62 (1D)": alkane(30),
+        "flake C24H12 (2D)": graphene_flake(2),
+        "water 3x3x3 (3D)": water_cluster(3, 3, 3),
+    }
+    rows = []
+    for label, mol in systems.items():
+        basis = reorder_basis(BasisSet.build(mol, "vdz-sim"))
+        screen = ScreeningMap(basis, schwarz_model(basis), 1e-10)
+        costs = quartet_cost_matrix(screen)
+        sim = simulate_gtfock(basis, screen, 1944, costs=costs)
+        model = PerfModel.from_screening(screen, LONESTAR, s=sim.steals_avg)
+        rows.append(
+            [
+                label,
+                basis.nshells,
+                screen.avg_phi,
+                float(screen.significant.mean()),
+                sim.steals_avg,
+                sim.load_balance,
+                model.overhead_ratio(max(1, 1944 // 12)),
+            ]
+        )
+    print(
+        format_table(
+            ["system", "shells", "B=|Phi|", "sig frac", "s", "l", "L(p)"],
+            rows,
+            title="Structure -> screening -> parallel behaviour (1944 cores)",
+        )
+    )
+    print(
+        "\nDenser systems keep more quartets (higher significant fraction),"
+        "\nso computation dominates (smaller L); sparse chains screen more"
+        "\nand are the cases where scheduler/communication design decides"
+        "\nscalability -- the paper's motivation for its test set."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: Hartree-Fock on a small molecule, serial and distributed.
+
+Runs RHF/STO-3G on water with the sequential reference, then repeats the
+converged-density Fock construction with the paper's distributed GTFock
+algorithm on a simulated 4-process machine and shows the two agree to
+machine precision.
+
+Usage:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.chem import water
+from repro.chem.basis.basisset import BasisSet
+from repro.fock import gtfock_build
+from repro.integrals.engine import MDEngine
+from repro.integrals.oneelec import core_hamiltonian
+from repro.scf import RHF
+from repro.scf.fock import fock_matrix
+
+
+def main() -> None:
+    mol = water()
+    print(f"Molecule: {mol.formula} ({mol.natoms} atoms, {mol.nelectrons} electrons)")
+
+    # 1. full self-consistent field calculation (Algorithm 1 of the paper)
+    scf = RHF(mol, basis_name="sto-3g")
+    result = scf.run()
+    print(f"RHF/STO-3G energy : {result.energy:.6f} hartree")
+    print(f"converged         : {result.converged} in {result.iterations} iterations")
+    print(f"nuclear repulsion : {result.nuclear_repulsion:.6f} hartree")
+
+    # 2. rebuild the final Fock matrix with the distributed algorithm
+    basis = BasisSet.build(mol, "sto-3g")
+    engine = MDEngine(basis)
+    hcore = core_hamiltonian(basis)
+    f_serial = fock_matrix(engine, hcore, result.density, tau=1e-11)
+    dist = gtfock_build(MDEngine(basis), hcore, result.density, nproc=4, tau=1e-11)
+    err = np.max(np.abs(dist.fock - f_serial))
+    print(f"\nGTFock on 4 simulated processes vs sequential reference:")
+    print(f"  max |dF|        : {err:.2e}")
+    print(f"  steals          : {len(dist.outcome.steals)}")
+    print(f"  comm volume     : {dist.stats.volume_mb_per_process():.3f} MB/process")
+    print(f"  GA calls        : {dist.stats.calls_per_process():.0f}/process")
+    assert err < 1e-10
+
+
+if __name__ == "__main__":
+    main()

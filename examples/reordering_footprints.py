@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Shell reordering and prefetch footprints (the paper's Figure 1).
+
+Shows how the spatial-cell shell reordering of Sec III-D shrinks the
+union D-matrix footprint of a block of tasks: with shells numbered by
+spatial cells, neighbouring tasks' significant sets overlap, so a 10x10
+block of tasks needs only a few times one task's data instead of 100x.
+
+Usage:  python examples/reordering_footprints.py
+"""
+
+import numpy as np
+
+from repro.chem import alkane
+from repro.chem.basis.basisset import BasisSet
+from repro.fock.partition import TaskBlock
+from repro.fock.prefetch import block_footprint
+from repro.fock.reorder import bandwidth_of, reorder_basis
+from repro.fock.screening_map import ScreeningMap
+from repro.integrals.schwarz import schwarz_model
+
+
+def footprint_ratio(screen: ScreeningMap, m: int, n: int, width: int) -> tuple:
+    single = block_footprint(screen, TaskBlock(m, m + 1, n, n + 1)).elements
+    block = block_footprint(
+        screen, TaskBlock(m, m + width, n, n + width)
+    ).elements
+    return single, block, block / single
+
+
+def main() -> None:
+    base = BasisSet.build(alkane(24), "vdz-sim")
+    rng = np.random.default_rng(0)
+    scrambled = base.permuted(rng.permutation(base.nshells))
+    reordered = reorder_basis(scrambled)
+
+    for label, basis in (("scrambled", scrambled), ("reordered", reordered)):
+        screen = ScreeningMap(basis, schwarz_model(basis), 1e-10)
+        m = basis.nshells // 4
+        n = basis.nshells // 2
+        width = 10
+        single, block, ratio = footprint_ratio(screen, m, n, width)
+        print(f"{label:>10s}: significant-matrix bandwidth = "
+              f"{bandwidth_of(screen.significant):7.1f}")
+        print(
+            f"            single task D footprint {single:8d} elements; "
+            f"{width}x{width} task block {block:8d} elements "
+            f"-> ratio {ratio:5.1f}x (naive would be {width * width}x)"
+        )
+    print(
+        "\nPaper (C100H202): single task 1055 elements; 2500-task block "
+        "only ~80x more.  The overlap of consecutive Phi sets is what "
+        "makes the prefetch-once strategy cheap."
+    )
+
+
+if __name__ == "__main__":
+    main()

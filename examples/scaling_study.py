@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Scaling study: GTFock vs NWChem over core counts (the paper's Table III).
+
+Simulates Fock construction for a graphene flake and a linear alkane
+(scaled-down versions of the paper's C96H24 and C100H202) from 12 to 3888
+cores on the Lonestar-like machine model, printing time, speedup,
+overhead, and communication per configuration.
+
+Usage:  python examples/scaling_study.py [--full]
+        --full uses the paper's exact molecule sizes (minutes of runtime).
+"""
+
+import os
+import sys
+
+if "--full" in sys.argv:
+    os.environ["REPRO_FULL"] = "1"
+
+from repro.bench.experiments import run_cell
+from repro.bench.harness import CORE_COUNTS, all_setups, format_table
+
+
+def main() -> None:
+    for setup in all_setups():
+        print(f"\n=== {setup.name} ===")
+        print(
+            f"shells={setup.basis.nshells} functions={setup.basis.nbf} "
+            f"total ERIs={setup.costs.total_eris:.3e} "
+            f"B={setup.screen.avg_phi:.1f} q={setup.screen.avg_consecutive_overlap:.1f}"
+        )
+        rows = []
+        base = None
+        for cores in CORE_COUNTS:
+            g = run_cell(setup, "gtfock", cores)
+            n = run_cell(setup, "nwchem", cores)
+            if base is None:
+                base = min(g.t_fock_max, n.t_fock_max)
+            rows.append(
+                [
+                    cores,
+                    g.t_fock_max,
+                    n.t_fock_max,
+                    base / g.t_fock_max,
+                    base / n.t_fock_max,
+                    g.t_overhead_avg,
+                    n.t_overhead_avg,
+                    g.load_balance,
+                ]
+            )
+        print(
+            format_table(
+                ["cores", "GT t(s)", "NW t(s)", "GT spd", "NW spd",
+                 "GT ov(s)", "NW ov(s)", "GT l"],
+                rows,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

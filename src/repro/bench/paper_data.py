@@ -1,0 +1,67 @@
+"""Reference values reported by the paper, for side-by-side comparison.
+
+The available text of the paper has garbled numeric tables (OCR), so this
+module records (a) the hard numbers that survive in prose, and (b) the
+*shape targets* -- the qualitative relations the reproduction must show.
+EXPERIMENTS.md tracks paper-vs-measured against these.
+"""
+
+from __future__ import annotations
+
+#: Table I -- machine parameters of Lonestar (per node).
+TABLE1_MACHINE = {
+    "cpu": "Intel X5680",
+    "freq_ghz": 3.33,
+    "sockets/cores/threads": "2/12/12",
+    "gflops_dp": 160,
+    "memory_gb": 24,
+    "interconnect_bandwidth_gb_s": 5,
+    "max_cores": 4104,
+}
+
+#: Table II -- the paper's test molecules with cc-pVDZ (tau = 1e-10).
+#: Shell/function counts are exact consequences of the basis structure;
+#: C100H202's are confirmed verbatim in the paper's Figure-1 discussion.
+TABLE2_MOLECULES = {
+    "C96H24": {"atoms": 120, "shells": 648, "functions": 1464, "family": "graphene"},
+    "C150H30": {"atoms": 180, "shells": 990, "functions": 2250, "family": "graphene"},
+    "C100H202": {"atoms": 302, "shells": 1206, "functions": 2410, "family": "alkane"},
+    "C144H290": {"atoms": 434, "shells": 1734, "functions": 3466, "family": "alkane"},
+}
+
+#: Table V -- average per-ERI time (seconds) on one node-class machine.
+TABLE5_T_INT = {
+    "gtfock_C24H12": 4.76e-6,  # quoted in the Sec III-G analysis
+}
+
+#: Figure 1 -- D-footprint of one task vs a 50x50 task block (C100H202).
+FIGURE1 = {
+    "single_task_nnz": 1055,  # elements needed by (300,: | 600,:)
+    "block_tasks": 2500,  # the 50x50 block (300:350,: | 600:650,:)
+    "block_over_single_ratio": 80.0,  # "only about 80 times greater"
+}
+
+#: Sec III-G / IV constants.
+MEASURED_CONSTANTS = {
+    "steal_victims_s_C96H24_3888": 3.8,
+    "integral_speedup_to_crossover_C96H24": 50.0,
+    "gtfock_queue_atomic_ops_per_node": 349,
+    "purification_iterations_C150H30": 45,
+    "purification_percent_range": (1.0, 15.0),  # % of HF iteration time
+}
+
+#: The qualitative relations the reproduction must exhibit.
+SHAPE_TARGETS = [
+    "NWChem is faster at small core counts (better single-node t_int).",
+    "GTFock is faster at large core counts (Table III crossover).",
+    "GTFock speedup at max cores exceeds NWChem's for every molecule (Table IV).",
+    "GTFock parallel overhead is about an order of magnitude below NWChem's "
+    "(Figure 2), most pronounced for the screened-out alkane cases.",
+    "NWChem overhead becomes comparable to its compute time near p ~ 3000 "
+    "for the sparse cases (Figure 2 a, c, d).",
+    "GTFock communication volume and GA call counts are lower than NWChem's "
+    "for all cases (Tables VI, VII).",
+    "Work stealing keeps the load-balance ratio l close to 1 (Table VIII).",
+    "Purification costs 1-15% of the HF iteration (Table IX).",
+    "A 50x50 task block's D footprint is ~80x one task's, not 2500x (Figure 1).",
+]

@@ -1,0 +1,27 @@
+"""Gaussian basis sets: shells, normalization, and per-molecule basis lists."""
+
+from repro.chem.basis.basisset import BASIS_REGISTRY, BasisSet, element_shells
+from repro.chem.basis.shells import (
+    Shell,
+    cartesian_components,
+    component_scale,
+    double_factorial,
+    ncart,
+    normalize_contraction,
+    nsph,
+    primitive_norm,
+)
+
+__all__ = [
+    "BASIS_REGISTRY",
+    "BasisSet",
+    "element_shells",
+    "Shell",
+    "cartesian_components",
+    "component_scale",
+    "double_factorial",
+    "ncart",
+    "normalize_contraction",
+    "nsph",
+    "primitive_norm",
+]

@@ -1,0 +1,64 @@
+"""``vdz-sim``: a cc-pVDZ-*structured* basis for parallel-behaviour studies.
+
+The paper's scalability experiments use the Dunning cc-pVDZ basis.  What
+the parallel algorithm actually "sees" of a basis set is:
+
+* the *shell structure* per element (how many shells of which angular
+  momentum -> task counts, block sizes, function counts), and
+* the *diffuseness* of the outermost primitives (-> Cauchy-Schwarz
+  screening decay, i.e. the significant sets Phi(M)).
+
+``vdz-sim`` reproduces both for H and C exactly in cc-pVDZ's image:
+H = (2s,1p) -> 3 shells / 5 spherical functions; C = (3s,2p,1d) -> 6
+shells / 14 spherical functions.  With these, the paper's Table II counts
+are matched exactly (e.g. C100H202 -> 1206 shells, 2410 functions).
+
+Exponents follow the published cc-pVDZ values; contraction coefficients of
+the deep core contractions are representative (smooth, normalized)
+rather than literature-exact, which is irrelevant for screening structure
+and clearly documented in DESIGN.md.  For numerically validated chemistry
+use ``sto-3g``.
+"""
+
+# fmt: off
+VDZSIM_DATA = {
+    "H": [
+        # (4s) -> [2s]: one 3-term contraction + one diffuse uncontracted s
+        ("S", [13.0100, 1.9620, 0.4446],
+              [0.019685, 0.137977, 0.478148]),
+        ("S", [0.1220], [1.0]),
+        ("P", [0.7270], [1.0]),
+    ],
+    "C": [
+        # (9s4p1d) -> [3s2p1d]
+        ("S", [6665.0, 1000.0, 228.0, 64.71, 21.06, 7.495, 2.797],
+              [0.000692, 0.005329, 0.027077, 0.101718, 0.274740, 0.448564, 0.285074]),
+        ("S", [0.5215], [1.0]),
+        ("S", [0.1596], [1.0]),
+        ("P", [9.439, 2.002, 0.5456],
+              [0.038109, 0.209480, 0.508557]),
+        ("P", [0.1517], [1.0]),
+        ("D", [0.5500], [1.0]),
+    ],
+    "O": [
+        ("S", [11720.0, 1759.0, 400.8, 113.7, 37.03, 13.27, 5.025],
+              [0.000710, 0.005470, 0.027837, 0.104800, 0.283062, 0.448719, 0.270952]),
+        ("S", [1.0130], [1.0]),
+        ("S", [0.3023], [1.0]),
+        ("P", [17.70, 3.854, 1.046],
+              [0.043018, 0.228913, 0.508728]),
+        ("P", [0.2753], [1.0]),
+        ("D", [1.1850], [1.0]),
+    ],
+    "N": [
+        ("S", [9046.0, 1357.0, 309.3, 87.73, 28.56, 10.21, 3.838],
+              [0.000700, 0.005389, 0.027406, 0.103207, 0.278723, 0.448540, 0.278238]),
+        ("S", [0.7466], [1.0]),
+        ("S", [0.2248], [1.0]),
+        ("P", [13.55, 2.917, 0.7973],
+              [0.039919, 0.217169, 0.510319]),
+        ("P", [0.2185], [1.0]),
+        ("D", [0.8170], [1.0]),
+    ],
+}
+# fmt: on

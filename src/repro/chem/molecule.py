@@ -1,0 +1,201 @@
+"""Molecule container and XYZ-format I/O.
+
+Coordinates are stored internally in **bohr** (atomic units), which is what
+the integral code consumes.  The XYZ format and the geometry builders use
+Angstrom, the conventional unit for molecular geometries, and convert on
+the way in/out.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.elements import (
+    ANGSTROM_PER_BOHR,
+    BOHR_PER_ANGSTROM,
+    atomic_number,
+    element,
+    symbol_of,
+)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A single atom: element symbol + position in bohr."""
+
+    symbol: str
+    position: tuple[float, float, float]
+
+    @property
+    def number(self) -> int:
+        return atomic_number(self.symbol)
+
+
+@dataclass
+class Molecule:
+    """An ordered collection of atoms with an overall charge.
+
+    Parameters
+    ----------
+    atoms:
+        Sequence of :class:`Atom` (positions in bohr).
+    charge:
+        Total molecular charge; the electron count is
+        ``sum(Z) - charge``.
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    atoms: list[Atom] = field(default_factory=list)
+    charge: int = 0
+    name: str = ""
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        symbols: list[str],
+        coords_angstrom: np.ndarray,
+        charge: int = 0,
+        name: str = "",
+    ) -> "Molecule":
+        """Build from parallel arrays of symbols and Angstrom coordinates."""
+        coords = np.asarray(coords_angstrom, dtype=float)
+        if coords.shape != (len(symbols), 3):
+            raise ValueError(
+                f"coords shape {coords.shape} does not match {len(symbols)} symbols"
+            )
+        atoms = [
+            Atom(element(s).symbol, tuple(float(x) for x in xyz * BOHR_PER_ANGSTROM))
+            for s, xyz in zip(symbols, coords)
+        ]
+        return cls(atoms=atoms, charge=charge, name=name)
+
+    @classmethod
+    def from_xyz(cls, text: str, charge: int = 0, name: str = "") -> "Molecule":
+        """Parse standard XYZ format (count line, comment line, atom lines)."""
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            raise ValueError("empty XYZ input")
+        try:
+            n = int(lines[0].split()[0])
+            body = lines[2 : 2 + n]
+            if len(body) != n:
+                raise ValueError
+        except ValueError:
+            # tolerate headerless XYZ bodies (symbol x y z per line)
+            body = lines
+        symbols: list[str] = []
+        coords: list[list[float]] = []
+        for ln in body:
+            parts = ln.split()
+            if len(parts) < 4:
+                raise ValueError(f"bad XYZ atom line: {ln!r}")
+            symbols.append(parts[0])
+            coords.append([float(parts[1]), float(parts[2]), float(parts[3])])
+        if not name and len(lines) > 1 and not _looks_like_atom_line(lines[1]):
+            name = lines[1].strip()
+        return cls.from_arrays(symbols, np.array(coords), charge=charge, name=name)
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def natoms(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def symbols(self) -> list[str]:
+        return [a.symbol for a in self.atoms]
+
+    @property
+    def numbers(self) -> np.ndarray:
+        """Atomic numbers as an int array."""
+        return np.array([a.number for a in self.atoms], dtype=int)
+
+    @property
+    def coords(self) -> np.ndarray:
+        """Positions in bohr, shape (natoms, 3)."""
+        return np.array([a.position for a in self.atoms], dtype=float)
+
+    @property
+    def coords_angstrom(self) -> np.ndarray:
+        return self.coords * ANGSTROM_PER_BOHR
+
+    @property
+    def nelectrons(self) -> int:
+        return int(self.numbers.sum()) - self.charge
+
+    @property
+    def formula(self) -> str:
+        """Hill-convention molecular formula, e.g. ``C6H6``."""
+        counts: dict[str, int] = {}
+        for s in self.symbols:
+            counts[s] = counts.get(s, 0) + 1
+        parts: list[str] = []
+        for s in ("C", "H"):
+            if s in counts:
+                n = counts.pop(s)
+                parts.append(s + (str(n) if n > 1 else ""))
+        for s in sorted(counts):
+            n = counts[s]
+            parts.append(s + (str(n) if n > 1 else ""))
+        return "".join(parts)
+
+    # -- energies / geometry -------------------------------------------------
+
+    def nuclear_repulsion(self) -> float:
+        """Classical Coulomb repulsion of the point nuclei, in hartree."""
+        z = self.numbers.astype(float)
+        r = self.coords
+        e = 0.0
+        for i in range(self.natoms):
+            d = np.linalg.norm(r[i + 1 :] - r[i], axis=1)
+            if np.any(d < 1e-8):
+                raise ValueError("coincident nuclei")
+            e += float(np.sum(z[i] * z[i + 1 :] / d))
+        return e
+
+    def min_interatomic_distance(self) -> float:
+        """Smallest pairwise nuclear distance in bohr (inf for 1 atom)."""
+        if self.natoms < 2:
+            return float("inf")
+        r = self.coords
+        best = float("inf")
+        for i in range(self.natoms - 1):
+            d = np.linalg.norm(r[i + 1 :] - r[i], axis=1)
+            best = min(best, float(d.min()))
+        return best
+
+    # -- output --------------------------------------------------------------
+
+    def to_xyz(self, comment: str | None = None) -> str:
+        """Serialize to standard XYZ text (Angstrom)."""
+        buf = io.StringIO()
+        buf.write(f"{self.natoms}\n")
+        buf.write((comment if comment is not None else self.name) + "\n")
+        for a, xyz in zip(self.atoms, self.coords_angstrom):
+            buf.write(f"{a.symbol:<2s} {xyz[0]:15.8f} {xyz[1]:15.8f} {xyz[2]:15.8f}\n")
+        return buf.getvalue()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or self.formula
+        return f"Molecule({label}, natoms={self.natoms}, charge={self.charge})"
+
+
+def _looks_like_atom_line(line: str) -> bool:
+    parts = line.split()
+    if len(parts) < 4:
+        return False
+    try:
+        [float(p) for p in parts[1:4]]
+    except ValueError:
+        return False
+    try:
+        symbol_of(atomic_number(parts[0]))
+    except KeyError:
+        return False
+    return True

@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+scf MOLECULE [--basis NAME]     run RHF on a built-in molecule
+table{2..9} / fig1 / fig2       regenerate one evaluation artifact
+model                           Sec III-G performance-model analysis
+ablation {reorder,steal,grain}  design-choice ablations
+list                            list built-in molecules and bases
+
+Set ``REPRO_FULL=1`` to run evaluation commands at the paper's exact
+molecule sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chem.basis.basisset import BASIS_REGISTRY, BasisSet
+from repro.chem.builders import PAPER_MOLECULES, SCALED_MOLECULES, paper_molecule
+
+
+def _run_scf(args: argparse.Namespace) -> int:
+    from repro.chem import builders
+    from repro.scf import RHF
+
+    simple = {
+        "water": builders.water,
+        "h2": builders.h2,
+        "methane": builders.methane,
+        "benzene": builders.benzene,
+    }
+    if args.molecule in simple:
+        mol = simple[args.molecule]()
+    else:
+        mol = paper_molecule(args.molecule)
+    print(f"RHF/{args.basis} on {mol.formula} ({mol.nelectrons} electrons)")
+    result = RHF(mol, basis_name=args.basis).run()
+    print(f"energy      = {result.energy:.8f} hartree")
+    print(f"converged   = {result.converged} ({result.iterations} iterations)")
+    if result.orbital_energies is not None:
+        from repro.scf.properties import orbital_summary
+
+        summary = orbital_summary(result.orbital_energies, mol.nelectrons // 2)
+        print(f"HOMO        = {summary.homo:.6f}")
+        if summary.lumo is not None:
+            print(f"LUMO        = {summary.lumo:.6f}  (gap {summary.gap:.6f})")
+    return 0 if result.converged else 1
+
+
+def _run_experiment(name: str) -> int:
+    from repro.bench import experiments as e
+
+    dispatch = {
+        "table2": e.table2_molecules,
+        "table3": e.table3_times,
+        "table4": e.table4_speedup,
+        "table5": e.table5_t_int,
+        "table6": e.table6_volume,
+        "table7": e.table7_calls,
+        "table8": e.table8_load_balance,
+        "table9": e.table9_purification,
+        "fig1": e.figure1_footprint,
+        "fig2": e.figure2_overhead,
+        "model": e.model_analysis,
+    }
+    print(dispatch[name]().text)
+    return 0
+
+
+def _run_ablation(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.fock.ablation import (
+        granularity_ablation,
+        reordering_ablation,
+        stealing_ablation,
+    )
+    from repro.fock.screening_map import ScreeningMap
+    from repro.integrals.schwarz import schwarz_model
+
+    mol = paper_molecule(args.molecule)
+    basis = BasisSet.build(mol, "vdz-sim")
+    if args.kind == "reorder":
+        rng = np.random.default_rng(0)
+        scrambled = basis.permuted(rng.permutation(basis.nshells))
+        rows = reordering_ablation(scrambled)
+    else:
+        from repro.fock.reorder import reorder_basis
+
+        rb = reorder_basis(basis)
+        screen = ScreeningMap(rb, schwarz_model(rb), 1e-10)
+        if args.kind == "steal":
+            rows = stealing_ablation(rb, screen)
+        else:
+            rows = granularity_ablation(rb, screen)
+    for row in rows:
+        print(row)
+    return 0
+
+
+def _run_list() -> int:
+    print("paper molecules :", ", ".join(sorted(PAPER_MOLECULES)))
+    print("scaled stand-ins:", ", ".join(sorted(SCALED_MOLECULES)))
+    print("demo molecules  : water, h2, methane, benzene")
+    print("basis sets      :", ", ".join(sorted(BASIS_REGISTRY)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_scf = sub.add_parser("scf", help="run RHF on a built-in molecule")
+    p_scf.add_argument("molecule")
+    p_scf.add_argument("--basis", default="sto-3g")
+
+    for name in (
+        "table2", "table3", "table4", "table5", "table6", "table7",
+        "table8", "table9", "fig1", "fig2", "model",
+    ):
+        sub.add_parser(name, help=f"regenerate {name}")
+
+    p_abl = sub.add_parser("ablation", help="design-choice ablations")
+    p_abl.add_argument("kind", choices=["reorder", "steal", "grain"])
+    p_abl.add_argument("--molecule", default="C24H12")
+
+    sub.add_parser("list", help="list built-in molecules and bases")
+
+    args = parser.parse_args(argv)
+    if args.command == "scf":
+        return _run_scf(args)
+    if args.command == "ablation":
+        return _run_ablation(args)
+    if args.command == "list":
+        return _run_list()
+    return _run_experiment(args.command)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

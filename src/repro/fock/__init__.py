@@ -1,0 +1,98 @@
+"""The paper's core contribution: scalable parallel Fock matrix construction.
+
+Public surface:
+
+* numeric distributed builds -- :func:`gtfock_build` (the paper's
+  Algorithm 4) and :func:`nwchem_build` (the Algorithm 2 baseline), both
+  producing Fock matrices equal to the sequential reference;
+* timing-level simulation -- :func:`simulate_gtfock` /
+  :func:`simulate_nwchem` for paper-scale molecules and core counts;
+* the building blocks: screening maps, parity symmetry checks, spatial
+  shell reordering, static 2-D partitioning, prefetch footprints, task
+  cost matrices, and the two schedulers.
+"""
+
+from repro.fock.ablation import (
+    AblationRow,
+    granularity_ablation,
+    reordering_ablation,
+    stealing_ablation,
+)
+from repro.fock.centralized import CentralizedOutcome, run_centralized
+from repro.fock.cost import TaskCosts, parity_allowed, quartet_cost_matrix
+from repro.fock.gtfock import GTFockBuildResult, PrefetchMiss, gtfock_build
+from repro.fock.nwchem import NWChemBuildResult, nwchem_build
+from repro.fock.partition import StaticPartition, TaskBlock
+from repro.fock.prefetch import (
+    Footprint,
+    block_footprint,
+    footprint_bounding_boxes,
+    ga_calls_for_footprint,
+    task_footprint_elements,
+)
+from repro.fock.reorder import bandwidth_of, cell_reordering, reorder_basis
+from repro.fock.screening_map import ScreeningMap
+from repro.fock.simulate import FockSimResult, simulate_gtfock, simulate_nwchem
+from repro.fock.stealing import StealingOutcome, run_work_stealing, victim_scan_order
+from repro.fock.symmetry import (
+    canonical_instance,
+    is_canonical_instance,
+    orbit_tuples,
+    symmetry_check,
+    task_computes,
+)
+from repro.fock.timeline import Span, Timeline, traced_work_stealing
+from repro.fock.tasks import (
+    NWChemTask,
+    atom_quartet_shell_quartets,
+    atom_sigma,
+    enumerate_task_quartets,
+    nwchem_task_list,
+)
+
+__all__ = [
+    "AblationRow",
+    "granularity_ablation",
+    "reordering_ablation",
+    "stealing_ablation",
+    "CentralizedOutcome",
+    "run_centralized",
+    "TaskCosts",
+    "parity_allowed",
+    "quartet_cost_matrix",
+    "GTFockBuildResult",
+    "PrefetchMiss",
+    "gtfock_build",
+    "NWChemBuildResult",
+    "nwchem_build",
+    "StaticPartition",
+    "TaskBlock",
+    "Footprint",
+    "block_footprint",
+    "footprint_bounding_boxes",
+    "ga_calls_for_footprint",
+    "task_footprint_elements",
+    "bandwidth_of",
+    "cell_reordering",
+    "reorder_basis",
+    "ScreeningMap",
+    "FockSimResult",
+    "simulate_gtfock",
+    "simulate_nwchem",
+    "StealingOutcome",
+    "run_work_stealing",
+    "victim_scan_order",
+    "canonical_instance",
+    "is_canonical_instance",
+    "orbit_tuples",
+    "symmetry_check",
+    "task_computes",
+    "Span",
+    "Timeline",
+    "traced_work_stealing",
+    "NWChemTask",
+    "atom_quartet_shell_quartets",
+    "atom_sigma",
+    "enumerate_task_quartets",
+    "nwchem_task_list",
+]

@@ -1,0 +1,241 @@
+"""Timing-level simulation of both Fock-build algorithms (Sec IV).
+
+Runs the *same* partitioning, screening, footprint, and scheduling code
+paths as the numeric builders, but charges modeled time per ERI and per
+byte instead of moving data -- which is what lets the simulated machine
+scale to the paper's molecules and core counts.  Produces the per-run
+quantities behind every evaluation artifact:
+
+* Table III/IV: ``t_fock_max`` per (molecule, cores, algorithm);
+* Figure 2:     ``t_comp_avg`` vs ``t_overhead_avg``;
+* Table VI/VII: ``comm_mb_per_proc`` / ``ga_calls_per_proc``;
+* Table VIII:   ``load_balance``;
+* Sec IV-C:     ``counter_accesses`` / ``queue_ops``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.fock.centralized import run_centralized
+from repro.fock.cost import TaskCosts, quartet_cost_matrix
+from repro.fock.nwchem_cost import build_nwchem_task_arrays
+from repro.fock.partition import StaticPartition
+from repro.fock.prefetch import block_footprint, ga_calls_for_footprint
+from repro.fock.screening_map import ScreeningMap
+from repro.fock.stealing import run_work_stealing
+from repro.runtime.machine import LONESTAR, MachineConfig
+from repro.runtime.network import CommStats
+
+
+@dataclass
+class FockSimResult:
+    """One simulated Fock construction (one cell of Table III)."""
+
+    algorithm: str
+    molecule: str
+    cores: int
+    nproc: int
+    #: Fock construction time = slowest process (Table III)
+    t_fock_max: float
+    t_fock_avg: float
+    #: average pure-computation time per process (Figure 2)
+    t_comp_avg: float
+    #: average parallel overhead T_ov = T_fock - T_comp (Figure 2)
+    t_overhead_avg: float
+    #: l = T_max / T_avg (Table VIII)
+    load_balance: float
+    #: average GA volume per process, MB (Table VI)
+    comm_mb_per_proc: float
+    #: average GA calls per process (Table VII)
+    ga_calls_per_proc: float
+    #: average processes stolen from, s of Eq (9) (GTFock only)
+    steals_avg: float = 0.0
+    #: total accesses to the centralized counter (NWChem only)
+    counter_accesses: int = 0
+    #: average atomic local-queue operations per process (GTFock only)
+    queue_ops_avg: float = 0.0
+    total_eris: float = 0.0
+    ntasks: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _finalize(
+    algorithm: str,
+    molecule: str,
+    cores: int,
+    stats: CommStats,
+    t_comp: np.ndarray,
+    finish: np.ndarray,
+    **extra,
+) -> FockSimResult:
+    t_avg = float(finish.mean())
+    # the Fock phase ends at a barrier: average parallel overhead counts
+    # everything that is not computation -- communication, scheduler
+    # waits, and endgame idling behind the slowest process (the paper's
+    # three overhead sources, Sec IV-C)
+    return FockSimResult(
+        algorithm=algorithm,
+        molecule=molecule,
+        cores=cores,
+        nproc=stats.nproc,
+        t_fock_max=float(finish.max()),
+        t_fock_avg=t_avg,
+        t_comp_avg=float(t_comp.mean()),
+        t_overhead_avg=max(float(finish.max()) - float(t_comp.mean()), 0.0),
+        load_balance=float(finish.max()) / t_avg if t_avg > 0 else 1.0,
+        comm_mb_per_proc=stats.volume_mb_per_process(),
+        ga_calls_per_proc=stats.calls_per_process(),
+        **extra,
+    )
+
+
+def simulate_gtfock(
+    basis: BasisSet,
+    screen: ScreeningMap,
+    cores: int,
+    config: MachineConfig = LONESTAR,
+    costs: TaskCosts | None = None,
+    enable_stealing: bool = True,
+    molecule_name: str = "",
+) -> FockSimResult:
+    """Simulate the paper's algorithm at ``cores`` total cores.
+
+    GTFock runs one process per node with node-wide threading
+    (Sec IV-A), so ``nproc = max(1, cores // cores_per_node)`` and each
+    process computes ERIs at node rate.
+    """
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    nproc = max(1, cores // config.cores_per_node)
+    threads = min(cores, config.cores_per_node)
+    if costs is None:
+        costs = quartet_cost_matrix(screen)
+    ns = basis.nshells
+    part = StaticPartition.build(ns, nproc)
+    stats = CommStats(nproc, config)
+
+    # -- prefetch: exact union footprint volume, boxed-region call count ----
+    footprint_bytes = np.zeros(nproc)
+    for p in range(nproc):
+        fp = block_footprint(screen, part.task_block(p))
+        calls = ga_calls_for_footprint(
+            fp, part.row_shell_bounds, part.col_shell_bounds
+        )
+        nbytes = fp.elements * config.element_size
+        footprint_bytes[p] = nbytes
+        stats.charge_comm(p, nbytes, ncalls=calls, remote=True)
+
+    # -- work-stealing execution over per-task costs ------------------------
+    t_task = config.t_int_gtfock / threads
+    eris_flat = costs.eris.ravel()
+
+    def cost_of(code: int) -> float:
+        return float(eris_flat[code]) * t_task + config.task_overhead
+
+    # "When a process steals from a new victim" (Sec III-F): the D-buffer
+    # copy is paid once per (thief, victim) pair; repeat steals from the
+    # same victim reuse the already-copied buffer.
+    seen_victims: set[tuple[int, int]] = set()
+
+    def steal_cost(thief: int, victim: int) -> float:
+        if (thief, victim) in seen_victims:
+            return 0.0
+        seen_victims.add((thief, victim))
+        nbytes = footprint_bytes[victim]
+        stats.calls[thief] += 1
+        stats.bytes[thief] += int(nbytes)
+        stats.remote_calls[thief] += 1
+        stats.remote_bytes[thief] += int(nbytes)
+        return config.transfer_time(nbytes, 1)
+
+    queues = []
+    for p in range(nproc):
+        blk = part.task_block(p)
+        rows = np.arange(blk.row_lo, blk.row_hi)
+        cols = np.arange(blk.col_lo, blk.col_hi)
+        codes = (rows[:, None] * ns + cols[None, :]).ravel()
+        queues.append(codes.tolist())
+
+    outcome = run_work_stealing(
+        queues,
+        cost_of,
+        (part.prow, part.pcol),
+        stats=stats,
+        steal_cost=steal_cost,
+        enable_stealing=enable_stealing,
+    )
+
+    # -- final flush of the F buffers ----------------------------------------
+    finish = outcome.finish_time.copy()
+    for p in range(nproc):
+        fp_calls = 3  # three near-contiguous F regions accumulated back
+        dt = config.transfer_time(footprint_bytes[p], fp_calls)
+        stats.charge_comm(p, footprint_bytes[p], ncalls=fp_calls, remote=True)
+        finish[p] += dt
+
+    return _finalize(
+        "gtfock",
+        molecule_name or (basis.molecule.name or basis.molecule.formula),
+        cores,
+        stats,
+        outcome.executed_cost,
+        finish,
+        steals_avg=outcome.avg_steals_per_proc,
+        queue_ops_avg=float(outcome.queue_ops.mean()),
+        total_eris=costs.total_eris,
+        ntasks=ns * ns,
+    )
+
+
+def simulate_nwchem(
+    basis: BasisSet,
+    screen: ScreeningMap,
+    cores: int,
+    config: MachineConfig = LONESTAR,
+    costs: TaskCosts | None = None,
+    molecule_name: str = "",
+) -> FockSimResult:
+    """Simulate NWChem's algorithm: one process per core, central counter."""
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    nproc = cores
+    if costs is None:
+        costs = quartet_cost_matrix(screen)
+    arrays = build_nwchem_task_arrays(
+        screen,
+        total_eris=costs.total_eris,
+        t_int=config.t_int_nwchem,
+        task_overhead=config.task_overhead,
+        element_size=config.element_size,
+    )
+    stats = CommStats(nproc, config)
+
+    def cost_of(tid: int) -> float:
+        return float(arrays.cost[tid])
+
+    def comm_of(proc: int, tid: int) -> None:
+        nbytes = float(arrays.comm_bytes[tid])
+        ncalls = int(arrays.comm_calls[tid])
+        if ncalls:
+            stats.charge_comm(proc, nbytes, ncalls=ncalls, remote=True)
+
+    outcome = run_centralized(
+        list(range(arrays.ntasks)), nproc, stats, cost_of, comm_of=comm_of
+    )
+    return _finalize(
+        "nwchem",
+        molecule_name or (basis.molecule.name or basis.molecule.formula),
+        cores,
+        stats,
+        outcome.executed_cost,
+        outcome.finish_time,
+        counter_accesses=outcome.counter_accesses,
+        total_eris=costs.total_eris,
+        ntasks=arrays.ntasks,
+    )

@@ -1,0 +1,242 @@
+"""Work-stealing distributed scheduler simulation (Sec III-F).
+
+Each process drains its own task queue; when empty it scans the process
+grid row-wise (starting from its own row), steals a block of tasks --
+half of the victim's remaining queue -- copies the victim's D buffer
+(that copy is the ``(1+s)`` factor of Eq 9), and continues.  Stolen-F
+buffers are accumulated back to the victim when the thief moves on.
+
+The simulation is event-driven with O(p + steals) events: a process's
+whole queue is one event, split lazily when a thief interrupts it.  The
+``on_task`` callback makes the same machinery drive both timing-only runs
+and numeric builds (where the callback computes real ERIs into the
+executing process's buffers).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.runtime.event import EventQueue
+from repro.runtime.network import CommStats
+
+
+@dataclass
+class StealRecord:
+    time: float
+    thief: int
+    victim: int
+    ntasks: int
+
+
+@dataclass
+class StealingOutcome:
+    """What the scheduler run produced."""
+
+    #: wall-clock (virtual) completion time per process
+    finish_time: np.ndarray
+    #: pure compute seconds executed per process
+    executed_cost: np.ndarray
+    #: number of tasks executed per process
+    executed_tasks: np.ndarray
+    steals: list[StealRecord] = field(default_factory=list)
+    #: per-process local queue accesses (atomic ops on local queues)
+    queue_ops: np.ndarray | None = None
+
+    @property
+    def makespan(self) -> float:
+        return float(self.finish_time.max())
+
+    @property
+    def avg_steals_per_proc(self) -> float:
+        """The paper's s: average number of *distinct* victims per process."""
+        pairs = {(s.thief, s.victim) for s in self.steals}
+        return len(pairs) / len(self.finish_time)
+
+    def load_balance_ratio(self) -> float:
+        """l = T_max / T_avg over per-process busy finish times (Table VIII)."""
+        avg = float(self.finish_time.mean())
+        return float(self.finish_time.max()) / avg if avg > 0 else 1.0
+
+
+class _ProcState:
+    __slots__ = ("tasks", "costs", "cum", "start", "active")
+
+    def __init__(self) -> None:
+        self.tasks: list[Any] = []
+        self.costs: list[float] = []
+        self.cum: list[float] = []
+        self.start = 0.0
+        self.active = False
+
+    def begin(self, tasks: list, costs: list[float], start: float) -> float:
+        self.tasks = tasks
+        self.costs = costs
+        self.cum = list(np.cumsum(costs)) if costs else []
+        self.start = start
+        self.active = bool(tasks)
+        return start + (self.cum[-1] if self.cum else 0.0)
+
+    def completed_by(self, t: float) -> int:
+        """Number of queued tasks fully executed by time t."""
+        if not self.active:
+            return len(self.tasks)
+        return bisect_right(self.cum, t - self.start + 1e-15)
+
+    def stealable_after(self, t: float) -> int:
+        """Index from which tasks can still be stolen at time t.
+
+        The task in flight at time t cannot be stolen.
+        """
+        k = self.completed_by(t)
+        return min(k + 1, len(self.tasks))
+
+
+def victim_scan_order(proc: int, prow: int, pcol: int) -> list[int]:
+    """Row-wise victim scan starting from the thief's own grid row."""
+    gi, gj = divmod(proc, pcol)
+    order = []
+    for r in range(prow):
+        row = (gi + r) % prow
+        for c in range(pcol):
+            col = (gj + c) % pcol if r == 0 else c
+            p = row * pcol + col
+            if p != proc:
+                order.append(p)
+    return order
+
+
+def run_work_stealing(
+    queues: list[list[Any]],
+    cost_of: Callable[[Any], float],
+    grid: tuple[int, int],
+    stats: CommStats | None = None,
+    steal_cost: Callable[[int, int], float] | None = None,
+    on_task: Callable[[int, Any], None] | None = None,
+    on_steal: Callable[[int, int], None] | None = None,
+    enable_stealing: bool = True,
+    steal_fraction: float = 0.5,
+    min_steal: int = 1,
+) -> StealingOutcome:
+    """Simulate the work-stealing execution of per-process task queues.
+
+    Parameters
+    ----------
+    queues:
+        Initial task list per process (the static partition's blocks).
+    cost_of:
+        Virtual execution cost (seconds) of one task.
+    grid:
+        (prow, pcol) process grid shape; defines the victim scan order.
+    stats:
+        Optional accounting whose per-process clocks give each process's
+        start time (e.g. after prefetch); finish times are written back.
+    steal_cost:
+        ``steal_cost(thief, victim) -> seconds`` charged to the thief per
+        steal (D-buffer copy + queue atomics).  Zero if omitted.
+    on_task:
+        Invoked as ``on_task(executing_proc, task)`` for every task, once.
+    on_steal:
+        Invoked as ``on_steal(thief, victim)`` at steal time -- numeric
+        builds use it to copy the victim's local D buffer to the thief.
+    enable_stealing:
+        Switch stealing off to measure raw static-partition imbalance.
+    min_steal:
+        Do not bother stealing fewer than this many tasks: endgame
+        single-task steals cost a D-buffer copy for near-zero work.
+    """
+    prow, pcol = grid
+    nproc = prow * pcol
+    if len(queues) != nproc:
+        raise ValueError(f"{len(queues)} queues for a {prow}x{pcol} grid")
+    if not 0.0 < steal_fraction <= 1.0:
+        raise ValueError("steal_fraction must be in (0, 1]")
+
+    states = [_ProcState() for _ in range(nproc)]
+    events = EventQueue()
+    finish = np.zeros(nproc)
+    executed_cost = np.zeros(nproc)
+    executed_tasks = np.zeros(nproc, dtype=np.int64)
+    queue_ops = np.zeros(nproc, dtype=np.int64)
+    steals: list[StealRecord] = []
+    scan_orders = [victim_scan_order(p, prow, pcol) for p in range(nproc)]
+    done = np.zeros(nproc, dtype=bool)
+
+    for p in range(nproc):
+        start = float(stats.clock[p]) if stats is not None else 0.0
+        costs = [cost_of(t) for t in queues[p]]
+        end = states[p].begin(list(queues[p]), costs, start)
+        queue_ops[p] += 1  # one atomic enqueue of the whole initial block
+        events.schedule(end, p)
+
+    def commit(proc: int, tasks: list[Any], costs: list[float]) -> None:
+        executed_cost[proc] += float(sum(costs))
+        executed_tasks[proc] += len(tasks)
+        if on_task is not None:
+            for t in tasks:
+                on_task(proc, t)
+
+    while True:
+        ev = events.pop()
+        if ev is None:
+            break
+        t, p = ev
+        st = states[p]
+        # the whole (possibly shrunk) batch has run to completion
+        commit(p, st.tasks, st.costs)
+        st.active = False
+        st.tasks, st.costs, st.cum = [], [], []
+
+        stolen = False
+        if enable_stealing:
+            for victim in scan_orders[p]:
+                queue_ops[p] += 1  # probe the victim's queue
+                vs = states[victim]
+                if not vs.active:
+                    continue
+                lo = vs.stealable_after(t)
+                avail = len(vs.tasks) - lo
+                if avail < max(1, min_steal):
+                    continue
+                nsteal = max(1, int(avail * steal_fraction))
+                cut = len(vs.tasks) - nsteal
+                stolen_tasks = vs.tasks[cut:]
+                stolen_costs = vs.costs[cut:]
+                # shrink the victim in place and reschedule its finish
+                vs.tasks = vs.tasks[:cut]
+                vs.costs = vs.costs[:cut]
+                vs.cum = vs.cum[:cut]
+                queue_ops[victim] += 1  # atomic update of victim queue
+                new_victim_end = vs.start + (vs.cum[-1] if vs.cum else 0.0)
+                events.schedule(max(new_victim_end, t), victim)
+                if on_steal is not None:
+                    on_steal(p, victim)
+                # the thief pays for copying the victim's D buffer
+                dt = steal_cost(p, victim) if steal_cost is not None else 0.0
+                start = t + dt
+                if stats is not None and dt > 0:
+                    stats.comm_time[p] += dt
+                end = states[p].begin(stolen_tasks, stolen_costs, start)
+                events.schedule(end, p)
+                steals.append(StealRecord(t, p, victim, len(stolen_tasks)))
+                stolen = True
+                break
+        if not stolen:
+            done[p] = True
+            finish[p] = t
+
+    if stats is not None:
+        stats.clock[:] = np.maximum(stats.clock, finish)
+        stats.comp_time += executed_cost
+
+    return StealingOutcome(
+        finish_time=finish,
+        executed_cost=executed_cost,
+        executed_tasks=executed_tasks,
+        steals=steals,
+        queue_ops=queue_ops,
+    )

@@ -1,0 +1,48 @@
+"""Gaussian integral engines: Boys, one-electron, ERIs, screening."""
+
+from repro.integrals.boys import boys, boys_array, boys_quadrature, boys_series, boys_single
+from repro.integrals.engine import ERIEngine, MDEngine, OSEngine, SyntheticERIEngine
+from repro.integrals.eri_3center import eri_2center_block, eri_3center_block
+from repro.integrals.eri_md import eri_shell_quartet, eri_tensor
+from repro.integrals.moments import dipole_integrals
+from repro.integrals.eri_os import eri_shell_quartet_os
+from repro.integrals.oneelec import (
+    core_hamiltonian,
+    kinetic,
+    nuclear_attraction,
+    overlap,
+)
+from repro.integrals.schwarz import (
+    pair_bound,
+    schwarz_matrix,
+    schwarz_model,
+    screening_stats,
+    unique_significant_quartet_count,
+)
+
+__all__ = [
+    "boys",
+    "boys_array",
+    "boys_quadrature",
+    "boys_series",
+    "boys_single",
+    "ERIEngine",
+    "MDEngine",
+    "OSEngine",
+    "SyntheticERIEngine",
+    "eri_shell_quartet",
+    "eri_tensor",
+    "eri_2center_block",
+    "eri_3center_block",
+    "dipole_integrals",
+    "eri_shell_quartet_os",
+    "core_hamiltonian",
+    "kinetic",
+    "nuclear_attraction",
+    "overlap",
+    "pair_bound",
+    "schwarz_matrix",
+    "schwarz_model",
+    "screening_stats",
+    "unique_significant_quartet_count",
+]

@@ -1,0 +1,140 @@
+"""The Boys function F_m(x), the radial kernel of all Coulomb integrals.
+
+``F_m(x) = \\int_0^1 t^{2m} exp(-x t^2) dt``
+
+Every electron-repulsion and nuclear-attraction integral reduces, through
+the McMurchie-Davidson scheme, to linear combinations of Boys-function
+values, so both accuracy and speed matter here.
+
+Three evaluation paths are provided:
+
+* :func:`boys` -- production path: the highest order is evaluated via the
+  regularized lower incomplete gamma function (small/moderate x) or the
+  asymptotic form (large x), and lower orders follow from the stable
+  *downward* recursion ``F_m = (2x F_{m+1} + e^{-x}) / (2m+1)``.
+* :func:`boys_series` -- Taylor/convergent series reference for small x.
+* :func:`boys_quadrature` -- brute-force numerical quadrature used only in
+  tests as an independent cross-check.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+#: Beyond this argument the asymptotic form is accurate to machine precision.
+_ASYMPTOTIC_X = 35.0
+
+
+def boys_single(m: int, x: float) -> float:
+    """F_m(x) for one order and one argument (scalar convenience path)."""
+    return float(boys(m, x)[m])
+
+
+def boys(mmax: int, x: float) -> np.ndarray:
+    """Boys function values ``F_0(x) .. F_mmax(x)`` as a length-(mmax+1) array.
+
+    Parameters
+    ----------
+    mmax:
+        Highest order needed (total angular momentum of the integral).
+    x:
+        Non-negative argument.
+    """
+    if mmax < 0:
+        raise ValueError(f"mmax must be >= 0, got {mmax}")
+    if x < 0:
+        raise ValueError(f"Boys argument must be >= 0, got {x}")
+    out = np.empty(mmax + 1)
+    if x < 1e-13:
+        # F_m(0) = 1 / (2m + 1)
+        out[:] = 1.0 / (2.0 * np.arange(mmax + 1) + 1.0)
+        return out
+    if x > _ASYMPTOTIC_X:
+        # F_m(x) ~ (2m-1)!! / 2^{m+1} * sqrt(pi / x^{2m+1}); exp(-x) negligible
+        top = _boys_asymptotic(mmax, x)
+    else:
+        # F_m(x) = Gamma(m+1/2) * P(m+1/2, x) / (2 x^{m+1/2})
+        a = mmax + 0.5
+        top = special.gamma(a) * special.gammainc(a, x) / (2.0 * x**a)
+    out[mmax] = top
+    emx = math.exp(-x)
+    for m in range(mmax - 1, -1, -1):
+        out[m] = (2.0 * x * out[m + 1] + emx) / (2.0 * m + 1.0)
+    return out
+
+
+def boys_array(mmax: int, xs: np.ndarray) -> np.ndarray:
+    """Vectorized Boys: shape (len(xs), mmax+1).
+
+    Used by batched one-electron integrals where many arguments share one
+    order range.
+    """
+    xs = np.asarray(xs, dtype=float)
+    if np.any(xs < 0):
+        raise ValueError("Boys arguments must be >= 0")
+    n = xs.size
+    out = np.empty((n, mmax + 1))
+    flat = xs.ravel()
+
+    small = flat < 1e-13
+    large = flat > _ASYMPTOTIC_X
+    mid = ~(small | large)
+
+    ms = np.arange(mmax + 1)
+    if small.any():
+        out[small] = 1.0 / (2.0 * ms + 1.0)
+    a = mmax + 0.5
+    top = np.empty(n)
+    if mid.any():
+        xm = flat[mid]
+        top[mid] = special.gamma(a) * special.gammainc(a, xm) / (2.0 * xm**a)
+    if large.any():
+        xl = flat[large]
+        top[large] = _boys_asymptotic_vec(mmax, xl)
+    filled = ~small
+    if filled.any():
+        out[filled, mmax] = top[filled]
+        emx = np.exp(-flat[filled])
+        xf = flat[filled]
+        for m in range(mmax - 1, -1, -1):
+            out[filled, m] = (2.0 * xf * out[filled, m + 1] + emx) / (2.0 * m + 1.0)
+    return out
+
+
+def boys_series(m: int, x: float, terms: int = 200) -> float:
+    """Convergent series: F_m(x) = e^{-x} sum_k (2m-1)!! (2x)^k / (2m+2k+1)!!.
+
+    Reference implementation; converges for all x but is slow for large x.
+    """
+    acc = 0.0
+    term = 1.0 / (2.0 * m + 1.0)
+    for k in range(terms):
+        acc += term
+        term *= 2.0 * x / (2.0 * m + 2.0 * k + 3.0)
+        if term < 1e-18 * max(acc, 1.0):
+            break
+    return math.exp(-x) * acc
+
+
+def boys_quadrature(m: int, x: float, npts: int = 20001) -> float:
+    """Direct numerical quadrature of the defining integral (tests only)."""
+    t = np.linspace(0.0, 1.0, npts)
+    y = t ** (2 * m) * np.exp(-x * t * t)
+    return float(np.trapezoid(y, t))
+
+
+def _boys_asymptotic(mmax: int, x: float) -> float:
+    dfact = 1.0
+    for k in range(1, mmax + 1):
+        dfact *= 2 * k - 1
+    return dfact / 2.0 ** (mmax + 1) * math.sqrt(math.pi / x ** (2 * mmax + 1))
+
+
+def _boys_asymptotic_vec(mmax: int, xs: np.ndarray) -> np.ndarray:
+    dfact = 1.0
+    for k in range(1, mmax + 1):
+        dfact *= 2 * k - 1
+    return dfact / 2.0 ** (mmax + 1) * np.sqrt(math.pi / xs ** (2 * mmax + 1))

@@ -1,0 +1,117 @@
+"""Two- and three-center electron repulsion integrals.
+
+``(ab|P)`` and ``(P|Q)`` over auxiliary shells, the building blocks of
+density fitting (RI).  Both reduce to the McMurchie-Davidson bilinear
+form with the auxiliary side expanded as a *single* Gaussian shell: its
+Hermite expansion is an (l, 0) pair with a zero second exponent, for
+which all E recurrences stay valid (the product prefactor is 1 and the
+composite center is the shell's own center).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chem.basis.shells import Shell, cartesian_components, component_scale
+from repro.integrals.eri_md import _pair_hermite
+from repro.integrals.hermite import e_coefficients, hermite_index, r_tensor
+from repro.integrals.spherical import apply_transforms
+
+
+def _single_hermite(sh: Shell):
+    """Hermite expansion records of one shell as a charge distribution.
+
+    Returns the same record structure as
+    :func:`repro.integrals.eri_md._pair_hermite`: per primitive,
+    ``(coef, exponent, center, E[ncart, 1, nh])``.
+    """
+    l = sh.l
+    comps = cartesian_components(l)
+    hidx = hermite_index(l)
+    tt = np.array([h[0] for h in hidx])
+    uu = np.array([h[1] for h in hidx])
+    vv = np.array([h[2] for h in hidx])
+    cx = np.array([c[0] for c in comps])
+    cy = np.array([c[1] for c in comps])
+    cz = np.array([c[2] for c in comps])
+    records = []
+    for a, ca in zip(sh.exps, sh.norm_coefs):
+        ex = e_coefficients(l, 0, a, 0.0, 0.0)
+        ey = ex  # AB distance is 0 in all directions for a single center
+        ez = ex
+        e = (
+            ex[cx[:, None], 0, tt[None, :]]
+            * ey[cy[:, None], 0, uu[None, :]]
+            * ez[cz[:, None], 0, vv[None, :]]
+        )[:, None, :]
+        records.append((ca, a, sh.center, e))
+    return records, (tt, uu, vv)
+
+
+def eri_3center_block(sh_a: Shell, sh_b: Shell, sh_p: Shell) -> np.ndarray:
+    """The block ``(ab|P)`` with basis-function shape (na, nb, nP)."""
+    bra, (tb, ub, vb) = _pair_hermite(sh_a, sh_b)
+    ket, (tk, uk, vk) = _single_hermite(sh_p)
+    lmax = sh_a.l + sh_b.l + sh_p.l
+    ket_sign = (-1.0) ** (tk + uk + vk)
+    na = len(cartesian_components(sh_a.l))
+    nb = len(cartesian_components(sh_b.l))
+    np_ = len(cartesian_components(sh_p.l))
+    out = np.zeros((na, nb, np_))
+    two_pi_52 = 2.0 * math.pi**2.5
+    for cab, p, pc, eab in bra:
+        for cp, q, qc, ep in ket:
+            alpha = p * q / (p + q)
+            r = r_tensor(lmax, alpha, pc - qc)
+            rmat = (
+                r[
+                    tb[:, None] + tk[None, :],
+                    ub[:, None] + uk[None, :],
+                    vb[:, None] + vk[None, :],
+                ]
+                * ket_sign[None, :]
+            )
+            pref = cab * cp * two_pi_52 / (p * q * math.sqrt(p + q))
+            out += pref * np.einsum(
+                "abi,ij,cj->abc", eab, rmat, ep[:, 0, :], optimize=True
+            )
+    for axis, sh in enumerate((sh_a, sh_b, sh_p)):
+        scales = np.array([component_scale(*c) for c in cartesian_components(sh.l)])
+        shape = [1, 1, 1]
+        shape[axis] = len(scales)
+        out *= scales.reshape(shape)
+    return apply_transforms(out, (sh_a, sh_b, sh_p))
+
+
+def eri_2center_block(sh_p: Shell, sh_q: Shell) -> np.ndarray:
+    """The metric block ``(P|Q)`` with shape (nP, nQ)."""
+    ketp, (tb, ub, vb) = _single_hermite(sh_p)
+    ketq, (tk, uk, vk) = _single_hermite(sh_q)
+    lmax = sh_p.l + sh_q.l
+    ket_sign = (-1.0) ** (tk + uk + vk)
+    np_ = len(cartesian_components(sh_p.l))
+    nq = len(cartesian_components(sh_q.l))
+    out = np.zeros((np_, nq))
+    two_pi_52 = 2.0 * math.pi**2.5
+    for cp, p, pc, ep in ketp:
+        for cq, q, qc, eq in ketq:
+            alpha = p * q / (p + q)
+            r = r_tensor(lmax, alpha, pc - qc)
+            rmat = (
+                r[
+                    tb[:, None] + tk[None, :],
+                    ub[:, None] + uk[None, :],
+                    vb[:, None] + vk[None, :],
+                ]
+                * ket_sign[None, :]
+            )
+            pref = cp * cq * two_pi_52 / (p * q * math.sqrt(p + q))
+            out += pref * ep[:, 0, :] @ rmat @ eq[:, 0, :].T
+    for axis, sh in enumerate((sh_p, sh_q)):
+        scales = np.array([component_scale(*c) for c in cartesian_components(sh.l)])
+        shape = [1, 1]
+        shape[axis] = len(scales)
+        out *= scales.reshape(shape)
+    return apply_transforms(out, (sh_p, sh_q))

@@ -1,0 +1,144 @@
+"""Electron repulsion integrals via the McMurchie-Davidson scheme.
+
+Shell quartets are the minimal unit of ERI work (Sec II-C of the paper):
+:func:`eri_shell_quartet` returns the 4-D block ``(MN|PQ)`` for four
+shells, in chemists' notation
+
+``(ab|cd) = \\iint a(r1) b(r1) 1/r12 c(r2) d(r2) dr1 dr2``.
+
+The implementation expands each bra/ket charge distribution in Hermite
+Gaussians (the E coefficients), reducing the quartet to the bilinear form
+``E_bra^T R E_ket`` over Hermite indices, evaluated with NumPy einsum per
+primitive quartet.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.basis.shells import Shell, cartesian_components, component_scale
+from repro.integrals.hermite import e_coefficients, hermite_index, r_tensor
+from repro.integrals.spherical import apply_transforms
+
+
+def _pair_hermite(sh_a: Shell, sh_b: Shell):
+    """Precompute Hermite expansion data for a shell pair (one electron side).
+
+    Returns a list of primitive-pair records ``(coef, p, P, E)`` where E
+    has shape (ncart_a, ncart_b, n_hermite) over the flattened (t, u, v)
+    index with t+u+v <= la+lb, plus the flattened index arrays.
+    """
+    la, lb = sh_a.l, sh_b.l
+    lab = la + lb
+    comps_a = cartesian_components(la)
+    comps_b = cartesian_components(lb)
+    hidx = hermite_index(lab)
+    tt = np.array([h[0] for h in hidx])
+    uu = np.array([h[1] for h in hidx])
+    vv = np.array([h[2] for h in hidx])
+    ax = np.array([c[0] for c in comps_a])
+    ay = np.array([c[1] for c in comps_a])
+    az = np.array([c[2] for c in comps_a])
+    bx = np.array([c[0] for c in comps_b])
+    by = np.array([c[1] for c in comps_b])
+    bz = np.array([c[2] for c in comps_b])
+    A, B = sh_a.center, sh_b.center
+    records = []
+    for a, ca in zip(sh_a.exps, sh_a.norm_coefs):
+        for b, cb in zip(sh_b.exps, sh_b.norm_coefs):
+            p = a + b
+            P = (a * A + b * B) / p
+            ex = e_coefficients(la, lb, a, b, float(A[0] - B[0]))
+            ey = e_coefficients(la, lb, a, b, float(A[1] - B[1]))
+            ez = e_coefficients(la, lb, a, b, float(A[2] - B[2]))
+            E = (
+                ex[ax[:, None, None], bx[None, :, None], tt[None, None, :]]
+                * ey[ay[:, None, None], by[None, :, None], uu[None, None, :]]
+                * ez[az[:, None, None], bz[None, :, None], vv[None, None, :]]
+            )
+            records.append((ca * cb, p, P, E))
+    return records, (tt, uu, vv)
+
+
+def eri_shell_quartet(
+    sh_a: Shell, sh_b: Shell, sh_c: Shell, sh_d: Shell
+) -> np.ndarray:
+    """The ERI block ``(ab|cd)`` with basis-function shape.
+
+    Shape is ``(nbf_a, nbf_b, nbf_c, nbf_d)`` -- spherical lengths for
+    pure shells, Cartesian otherwise.
+    """
+    bra, (tb, ub, vb) = _pair_hermite(sh_a, sh_b)
+    ket, (tk, uk, vk) = _pair_hermite(sh_c, sh_d)
+    lmax = sh_a.l + sh_b.l + sh_c.l + sh_d.l
+    ket_sign = (-1.0) ** (tk + uk + vk)
+
+    na, nb = len(cartesian_components(sh_a.l)), len(cartesian_components(sh_b.l))
+    nc, nd = len(cartesian_components(sh_c.l)), len(cartesian_components(sh_d.l))
+    out = np.zeros((na, nb, nc, nd))
+    two_pi_52 = 2.0 * math.pi**2.5
+    for cab, p, P, Eab in bra:
+        for ccd, q, Q, Ecd in ket:
+            alpha = p * q / (p + q)
+            r = r_tensor(lmax, alpha, P - Q)
+            rmat = (
+                r[
+                    tb[:, None] + tk[None, :],
+                    ub[:, None] + uk[None, :],
+                    vb[:, None] + vk[None, :],
+                ]
+                * ket_sign[None, :]
+            )
+            pref = cab * ccd * two_pi_52 / (p * q * math.sqrt(p + q))
+            out += pref * np.einsum(
+                "abi,ij,cdj->abcd", Eab, rmat, Ecd, optimize=True
+            )
+
+    for axis, sh in enumerate((sh_a, sh_b, sh_c, sh_d)):
+        scales = np.array(
+            [component_scale(*c) for c in cartesian_components(sh.l)]
+        )
+        shape = [1, 1, 1, 1]
+        shape[axis] = len(scales)
+        out *= scales.reshape(shape)
+    return apply_transforms(out, (sh_a, sh_b, sh_c, sh_d))
+
+
+def eri_tensor(basis: BasisSet) -> np.ndarray:
+    """Full ERI tensor (nbf^4) for small systems.
+
+    Exploits the 8-fold permutational symmetry of Eq (4): each unique
+    shell quartet is computed once and scattered to all equivalent
+    positions.  Memory is O(nbf^4) -- use only for validation-scale
+    molecules.
+    """
+    n = basis.nbf
+    eri = np.zeros((n, n, n, n))
+    ns = basis.nshells
+    for m in range(ns):
+        sm = basis.shell_slice(m)
+        for nsh in range(m + 1):
+            sn = basis.shell_slice(nsh)
+            for p in range(m + 1):
+                sp = basis.shell_slice(p)
+                qmax = nsh if p == m else p
+                for q in range(qmax + 1):
+                    sq = basis.shell_slice(q)
+                    blk = eri_shell_quartet(
+                        basis.shells[m],
+                        basis.shells[nsh],
+                        basis.shells[p],
+                        basis.shells[q],
+                    )
+                    eri[sm, sn, sp, sq] = blk
+                    eri[sn, sm, sp, sq] = blk.transpose(1, 0, 2, 3)
+                    eri[sm, sn, sq, sp] = blk.transpose(0, 1, 3, 2)
+                    eri[sn, sm, sq, sp] = blk.transpose(1, 0, 3, 2)
+                    eri[sp, sq, sm, sn] = blk.transpose(2, 3, 0, 1)
+                    eri[sq, sp, sm, sn] = blk.transpose(3, 2, 0, 1)
+                    eri[sp, sq, sn, sm] = blk.transpose(2, 3, 1, 0)
+                    eri[sq, sp, sn, sm] = blk.transpose(3, 2, 1, 0)
+    return eri

@@ -1,0 +1,129 @@
+"""McMurchie-Davidson Hermite machinery.
+
+Two building blocks:
+
+* :func:`e_coefficients` -- the 1-D Hermite expansion coefficients
+  ``E_t^{ij}`` that express a product of two Cartesian Gaussians as a sum
+  of Hermite Gaussians (one array per Cartesian direction).
+* :func:`r_tensor` -- the Hermite Coulomb integrals ``R_{tuv}`` obtained
+  from Boys-function values by the standard upward recursion.
+
+Everything downstream (overlap, kinetic, nuclear attraction, ERIs) is a
+contraction of these two objects.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.integrals.boys import boys
+
+
+def e_coefficients(la: int, lb: int, a: float, b: float, ab_dist: float) -> np.ndarray:
+    """Hermite expansion coefficients for one Cartesian direction.
+
+    Returns ``E[i, j, t]`` of shape (la+1, lb+1, la+lb+1) with the
+    convention ``E[i, j, t] = 0`` for ``t > i + j``.
+
+    Parameters
+    ----------
+    la, lb:
+        Maximum 1-D angular momenta of the two centers.
+    a, b:
+        Primitive exponents.
+    ab_dist:
+        ``A_x - B_x`` (the coordinate difference along this direction).
+    """
+    p = a + b
+    mu = a * b / p
+    one_over_2p = 0.5 / p
+    # distances from the Gaussian product center P
+    pa = -b / p * ab_dist  # P - A
+    pb = a / p * ab_dist  # P - B
+
+    E = np.zeros((la + 1, lb + 1, la + lb + 1))
+    E[0, 0, 0] = math.exp(-mu * ab_dist * ab_dist)
+    # build up i with j = 0
+    for i in range(1, la + 1):
+        tmax = i
+        E[i, 0, 0] = pa * E[i - 1, 0, 0] + E[i - 1, 0, 1]
+        for t in range(1, tmax + 1):
+            E[i, 0, t] = (
+                one_over_2p * E[i - 1, 0, t - 1]
+                + pa * E[i - 1, 0, t]
+                + (t + 1) * (E[i - 1, 0, t + 1] if t + 1 <= i - 1 else 0.0)
+            )
+    # build up j for every i
+    for j in range(1, lb + 1):
+        for i in range(la + 1):
+            tmax = i + j
+            E[i, j, 0] = pb * E[i, j - 1, 0] + E[i, j - 1, 1]
+            for t in range(1, tmax + 1):
+                E[i, j, t] = (
+                    one_over_2p * E[i, j - 1, t - 1]
+                    + pb * E[i, j - 1, t]
+                    + (t + 1) * (E[i, j - 1, t + 1] if t + 1 <= i + j - 1 else 0.0)
+                )
+    return E
+
+
+def hermite_index(lmax: int) -> list[tuple[int, int, int]]:
+    """Flattened (t, u, v) index list with t+u+v <= lmax, in fixed order."""
+    idx = []
+    for t in range(lmax + 1):
+        for u in range(lmax + 1 - t):
+            for v in range(lmax + 1 - t - u):
+                idx.append((t, u, v))
+    return idx
+
+
+def r_tensor(lmax: int, p: float, pq: np.ndarray) -> np.ndarray:
+    """Hermite Coulomb integrals ``R_{tuv}`` with t+u+v <= lmax.
+
+    Parameters
+    ----------
+    lmax:
+        Maximum total Hermite order.
+    p:
+        The composite exponent (``p`` for nuclear attraction with the
+        nucleus at distance PQ; ``p q / (p + q)`` for ERIs).
+    pq:
+        The 3-vector from the composite center to the other center.
+
+    Returns
+    -------
+    R of shape (lmax+1, lmax+1, lmax+1); entries with t+u+v > lmax are 0.
+    """
+    x, y, z = (float(c) for c in pq)
+    r2 = x * x + y * y + z * z
+    fm = boys(lmax, p * r2)
+    # R^{(n)}_{000} = (-2p)^n F_n
+    rn = np.empty((lmax + 1, lmax + 1, lmax + 1, lmax + 1))
+    # layer n stored at rn[n]; fill by downward n so recursion only reads n+1
+    scale = 1.0
+    base = np.zeros((lmax + 1, lmax + 1, lmax + 1, lmax + 1))
+    for n in range(lmax + 1):
+        base[n, 0, 0, 0] = scale * fm[n]
+        scale *= -2.0 * p
+    rn = base
+    for total in range(1, lmax + 1):
+        for n in range(lmax - total, -1, -1):
+            for t in range(total + 1):
+                for u in range(total - t + 1):
+                    v = total - t - u
+                    if t > 0:
+                        val = x * rn[n + 1, t - 1, u, v]
+                        if t > 1:
+                            val += (t - 1) * rn[n + 1, t - 2, u, v]
+                    elif u > 0:
+                        val = y * rn[n + 1, t, u - 1, v]
+                        if u > 1:
+                            val += (u - 1) * rn[n + 1, t, u - 2, v]
+                    else:
+                        val = z * rn[n + 1, t, u, v - 1]
+                        if v > 1:
+                            val += (v - 1) * rn[n + 1, t, u, v - 2]
+                    rn[n, t, u, v] = val
+    return rn[0]

@@ -1,0 +1,152 @@
+"""One-electron integrals: overlap S, kinetic T, nuclear attraction V.
+
+These form the overlap matrix S (for the basis orthogonalization
+``X = U s^{-1/2}``) and the core Hamiltonian ``H^core = T + V`` of
+Algorithm 1 in the paper.  They are computed once per SCF run, so clarity
+wins over micro-optimization; the shell-pair structure mirrors the ERI
+code.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.basis.shells import Shell, cartesian_components, component_scale
+from repro.integrals.hermite import e_coefficients, r_tensor
+from repro.integrals.spherical import apply_transforms
+
+
+def _pair_e1d(sh_a: Shell, sh_b: Shell, extra_b: int = 0):
+    """Per-primitive-pair 1-D Hermite coefficients for the three directions.
+
+    Yields ``(ca*cb, p, P, (Ex, Ey, Ez))`` for every primitive pair, where
+    the E arrays allow 1-D angular momenta up to ``la`` and ``lb+extra_b``.
+    """
+    la, lb = sh_a.l, sh_b.l
+    A, B = sh_a.center, sh_b.center
+    for a, ca in zip(sh_a.exps, sh_a.norm_coefs):
+        for b, cb in zip(sh_b.exps, sh_b.norm_coefs):
+            p = a + b
+            P = (a * A + b * B) / p
+            es = tuple(
+                e_coefficients(la, lb + extra_b, a, b, float(A[d] - B[d]))
+                for d in range(3)
+            )
+            yield ca * cb, a, b, p, P, es
+
+
+def overlap_block(sh_a: Shell, sh_b: Shell) -> np.ndarray:
+    """Overlap block between two shells (basis-function shape)."""
+    comps_a = cartesian_components(sh_a.l)
+    comps_b = cartesian_components(sh_b.l)
+    block = np.zeros((len(comps_a), len(comps_b)))
+    for coef, _a, _b, p, _P, (ex, ey, ez) in _pair_e1d(sh_a, sh_b):
+        pref = coef * (math.pi / p) ** 1.5
+        for ia, (ax, ay, az) in enumerate(comps_a):
+            for ib, (bx, by, bz) in enumerate(comps_b):
+                block[ia, ib] += pref * ex[ax, bx, 0] * ey[ay, by, 0] * ez[az, bz, 0]
+    _scale_components(block, sh_a, sh_b)
+    return apply_transforms(block, (sh_a, sh_b))
+
+
+def kinetic_block(sh_a: Shell, sh_b: Shell) -> np.ndarray:
+    """Kinetic-energy block ``-1/2 <a|del^2|b>`` between two shells."""
+    comps_a = cartesian_components(sh_a.l)
+    comps_b = cartesian_components(sh_b.l)
+    block = np.zeros((len(comps_a), len(comps_b)))
+    for coef, _a, b, p, _P, (ex, ey, ez) in _pair_e1d(sh_a, sh_b, extra_b=2):
+        pref = coef * (math.pi / p) ** 1.5
+        for ia, (ax, ay, az) in enumerate(comps_a):
+            for ib, (bx, by, bz) in enumerate(comps_b):
+                sx, sy, sz = ex[ax, bx, 0], ey[ay, by, 0], ez[az, bz, 0]
+                tx = _kin1d(ex, ax, bx, b)
+                ty = _kin1d(ey, ay, by, b)
+                tz = _kin1d(ez, az, bz, b)
+                block[ia, ib] += pref * (tx * sy * sz + sx * ty * sz + sx * sy * tz)
+    _scale_components(block, sh_a, sh_b)
+    return apply_transforms(block, (sh_a, sh_b))
+
+
+def nuclear_attraction_block(
+    sh_a: Shell, sh_b: Shell, charges: np.ndarray, positions: np.ndarray
+) -> np.ndarray:
+    """Nuclear-attraction block ``-sum_C Z_C <a| 1/|r-C| |b>``."""
+    comps_a = cartesian_components(sh_a.l)
+    comps_b = cartesian_components(sh_b.l)
+    ltot = sh_a.l + sh_b.l
+    block = np.zeros((len(comps_a), len(comps_b)))
+    for coef, _a, _b, p, P, (ex, ey, ez) in _pair_e1d(sh_a, sh_b):
+        pref = coef * 2.0 * math.pi / p
+        for z, c in zip(charges, positions):
+            r = r_tensor(ltot, p, P - c)
+            for ia, (ax, ay, az) in enumerate(comps_a):
+                for ib, (bx, by, bz) in enumerate(comps_b):
+                    acc = 0.0
+                    for t in range(ax + bx + 1):
+                        for u in range(ay + by + 1):
+                            for v in range(az + bz + 1):
+                                acc += (
+                                    ex[ax, bx, t]
+                                    * ey[ay, by, u]
+                                    * ez[az, bz, v]
+                                    * r[t, u, v]
+                                )
+                    block[ia, ib] -= pref * z * acc
+    _scale_components(block, sh_a, sh_b)
+    return apply_transforms(block, (sh_a, sh_b))
+
+
+def _kin1d(e: np.ndarray, i: int, j: int, b: float) -> float:
+    """1-D kinetic factor from overlap coefficients E with lb extended by 2."""
+    term = -2.0 * b * b * e[i, j + 2, 0] + b * (2 * j + 1) * e[i, j, 0]
+    if j >= 2:
+        term -= 0.5 * j * (j - 1) * e[i, j - 2, 0]
+    return term
+
+
+def _scale_components(block: np.ndarray, sh_a: Shell, sh_b: Shell) -> None:
+    """Apply per-component angular normalization in place (Cartesian block)."""
+    sa = np.array([component_scale(*c) for c in cartesian_components(sh_a.l)])
+    sb = np.array([component_scale(*c) for c in cartesian_components(sh_b.l)])
+    block *= sa[:, None] * sb[None, :]
+
+
+def _assemble(basis: BasisSet, block_fn) -> np.ndarray:
+    n = basis.nbf
+    out = np.zeros((n, n))
+    for i in range(basis.nshells):
+        si = basis.shell_slice(i)
+        for j in range(i + 1):
+            sj = basis.shell_slice(j)
+            blk = block_fn(basis.shells[i], basis.shells[j])
+            out[si, sj] = blk
+            if i != j:
+                out[sj, si] = blk.T
+    return out
+
+
+def overlap(basis: BasisSet) -> np.ndarray:
+    """Full overlap matrix S, shape (nbf, nbf)."""
+    return _assemble(basis, overlap_block)
+
+
+def kinetic(basis: BasisSet) -> np.ndarray:
+    """Full kinetic-energy matrix T."""
+    return _assemble(basis, kinetic_block)
+
+
+def nuclear_attraction(basis: BasisSet) -> np.ndarray:
+    """Full nuclear-attraction matrix V (includes the -Z sign)."""
+    charges = basis.molecule.numbers.astype(float)
+    positions = basis.molecule.coords
+    return _assemble(
+        basis, lambda a, b: nuclear_attraction_block(a, b, charges, positions)
+    )
+
+
+def core_hamiltonian(basis: BasisSet) -> np.ndarray:
+    """H^core = T + V (line 2 of Algorithm 1 in the paper)."""
+    return kinetic(basis) + nuclear_attraction(basis)

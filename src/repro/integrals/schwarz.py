@@ -1,0 +1,121 @@
+"""Cauchy-Schwarz screening bounds (Sec II-D of the paper).
+
+The bound ``|(ij|kl)| <= sqrt((ij|ij)) sqrt((kl|kl))`` lets the Fock build
+skip shell quartets whose estimate falls below a drop tolerance tau.  The
+*shell pair value* is
+
+``sigma(M,N) = max_{i in M, j in N} sqrt((ij|ij))``
+
+so that a quartet (MN|PQ) may be skipped when
+``sigma(M,N) * sigma(P,Q) < tau``.
+
+Two evaluation paths:
+
+* :func:`schwarz_matrix` -- exact: computes the diagonal quartet
+  ``(MN|MN)`` for every shell pair.  O(nshells^2) quartets; fine for
+  validation-scale molecules.
+* :func:`schwarz_model` -- paper-scale model: the exact *diagonal* values
+  ``sigma(M,M)`` combined with the Gaussian-product decay
+  ``exp(-mu r_MN^2)`` of the most diffuse primitives, which is the factor
+  that actually drives the distance screening (the ERI prefactor of the
+  bra charge distribution).  Fully vectorized: O(nshells^2) array work.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.integrals.eri_md import eri_shell_quartet
+
+
+def pair_bound(basis: BasisSet, m: int, n: int) -> float:
+    """Exact shell-pair value sigma(M,N) from the diagonal quartet."""
+    sh_m, sh_n = basis.shells[m], basis.shells[n]
+    block = eri_shell_quartet(sh_m, sh_n, sh_m, sh_n)
+    nm, nn = sh_m.nbf, sh_n.nbf
+    diag = np.abs(np.einsum("ijij->ij", block.reshape(nm, nn, nm, nn)))
+    return float(np.sqrt(diag.max()))
+
+
+def schwarz_matrix(basis: BasisSet) -> np.ndarray:
+    """Exact sigma(M,N) for all shell pairs, shape (nshells, nshells)."""
+    ns = basis.nshells
+    sigma = np.zeros((ns, ns))
+    for m in range(ns):
+        for n in range(m + 1):
+            v = pair_bound(basis, m, n)
+            sigma[m, n] = sigma[n, m] = v
+    return sigma
+
+
+def schwarz_model(basis: BasisSet) -> np.ndarray:
+    """Model sigma(M,N): exact diagonals + Gaussian-product distance decay.
+
+    ``sigma(M,N) ~= sqrt(sigma(M,M) sigma(N,N)) * exp(-mu_MN r_MN^2)``
+    with ``mu_MN = e_M e_N / (e_M + e_N)`` over the most diffuse primitive
+    exponents.  This is exact for the r=0 diagonal and reproduces the
+    asymptotic decay of the true bound, which is what determines the
+    significant sets Phi(M) the parallel algorithm is built on.
+    """
+    ns = basis.nshells
+    diag = np.array([pair_bound(basis, m, m) for m in range(ns)])
+    e = basis.min_exponents()
+    centers = basis.centers
+    mu = e[:, None] * e[None, :] / (e[:, None] + e[None, :])
+    diff = centers[:, None, :] - centers[None, :, :]
+    r2 = np.einsum("mnd,mnd->mn", diff, diff)
+    sigma = np.sqrt(diag[:, None] * diag[None, :]) * np.exp(-mu * r2)
+    return sigma
+
+
+def screening_stats(sigma: np.ndarray, tau: float) -> dict:
+    """Summary statistics of a screening matrix for reports."""
+    ns = sigma.shape[0]
+    sig_max = float(sigma.max())
+    significant = sigma >= tau / sig_max
+    return {
+        "nshells": ns,
+        "sigma_max": sig_max,
+        "n_significant_pairs": int(np.count_nonzero(significant)),
+        "fraction_significant": float(np.count_nonzero(significant)) / (ns * ns),
+    }
+
+
+def unique_significant_quartet_count(sigma: np.ndarray, tau: float) -> int:
+    """Number of unique shell quartets surviving screening (Table II column).
+
+    Counts canonical quartets (M>=N, P>=Q... sorted pair ordering) with
+    ``sigma(M,N) sigma(P,Q) >= tau``, exploiting the 8-fold symmetry the
+    way the paper counts "Unique Shell Quartets".  Vectorized via sorting:
+    for each canonical bra pair value v, counts canonical ket pairs with
+    value >= tau / v that do not precede the bra pair.
+    """
+    ns = sigma.shape[0]
+    iu, ju = np.triu_indices(ns)
+    vals = sigma[iu, ju]
+    keep = vals > 1e-300  # avoid overflow in tau / value for denormals
+    vals = vals[keep]
+    npair = vals.size
+    if npair == 0:
+        return 0
+    # pair ids in canonical order 0..npair-1 (bra <= ket avoids double count)
+    order = np.argsort(vals)
+    sorted_vals = vals[order]
+    rank_of = np.empty(npair, dtype=np.int64)
+    rank_of[order] = np.arange(npair)
+    # count, for each bra pair b (by original id), ket pairs k >= b with
+    # vals[k] >= tau / vals[b].  Equivalent: over sorted values, pairs
+    # (b, k) with product >= tau, b <= k by *pair id*; we instead count by
+    # value ordering and correct: count unordered {b,k} with product >= tau
+    # (including b == k), which is identical to counting with any fixed
+    # total order on pairs.
+    thresholds = tau / sorted_vals
+    idx = np.searchsorted(sorted_vals, thresholds, side="left")
+    counts = npair - idx  # pairs k (all) with product >= tau, per b
+    total_ordered = int(counts.sum())
+    diag = int(np.count_nonzero(sorted_vals * sorted_vals >= tau))
+    # unordered pairs including b == k
+    return (total_ordered - diag) // 2 + diag

@@ -1,0 +1,80 @@
+"""Cartesian -> real solid-harmonic (spherical) transformations.
+
+Supported through l = 2, which covers every basis set shipped with this
+library (cc-pVDZ-structured sets top out at d shells).  The coefficients
+assume *individually normalized* Cartesian components (this library's
+convention) and produce unit-normalized spherical functions.
+
+Spherical d ordering: m = -2, -1, 0, +1, +2, i.e.
+``xy, yz, z^2, xz, x^2-y^2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chem.basis.shells import Shell, ncart, nsph
+
+_SQRT3_OVER_2 = math.sqrt(3.0) / 2.0
+
+# rows: spherical m = -2..+2; cols: cartesian xx, xy, xz, yy, yz, zz
+_D_TRANSFORM = np.array(
+    [
+        [0.0, 1.0, 0.0, 0.0, 0.0, 0.0],  # m=-2: xy
+        [0.0, 0.0, 0.0, 0.0, 1.0, 0.0],  # m=-1: yz
+        [-0.5, 0.0, 0.0, -0.5, 0.0, 1.0],  # m= 0: (2zz - xx - yy)/2-ish
+        [0.0, 0.0, 1.0, 0.0, 0.0, 0.0],  # m=+1: xz
+        [_SQRT3_OVER_2, 0.0, 0.0, -_SQRT3_OVER_2, 0.0, 0.0],  # m=+2
+    ]
+)
+
+
+def transform_matrix(l: int) -> np.ndarray:
+    """The (nsph x ncart) transform for angular momentum ``l``."""
+    if l == 0:
+        return np.ones((1, 1))
+    if l == 1:
+        return np.eye(3)
+    if l == 2:
+        return _D_TRANSFORM.copy()
+    raise NotImplementedError(f"spherical transform not implemented for l={l}")
+
+
+def shell_transform(shell: Shell) -> np.ndarray:
+    """Transform from this shell's Cartesian components to its basis functions.
+
+    Identity-shaped for Cartesian shells; the solid-harmonic matrix for
+    pure shells.
+    """
+    if shell.pure:
+        return transform_matrix(shell.l)
+    return np.eye(ncart(shell.l))
+
+
+def apply_transforms(block: np.ndarray, shells: tuple[Shell, ...]) -> np.ndarray:
+    """Apply per-axis shell transforms to a Cartesian integral block.
+
+    ``block`` has one axis per shell (2 axes for one-electron blocks,
+    4 for ERIs), each of Cartesian length; pure axes are contracted down
+    to spherical length.
+    """
+    if block.ndim != len(shells):
+        raise ValueError(
+            f"block rank {block.ndim} does not match {len(shells)} shells"
+        )
+    out = block
+    for axis, sh in enumerate(shells):
+        if sh.pure:
+            t = transform_matrix(sh.l)
+            out = np.tensordot(t, out, axes=([1], [axis]))
+            out = np.moveaxis(out, 0, axis)
+        elif out.shape[axis] != ncart(sh.l):
+            raise ValueError(
+                f"axis {axis} has length {out.shape[axis]}, expected {ncart(sh.l)}"
+            )
+    expected = tuple(nsph(sh.l) if sh.pure else ncart(sh.l) for sh in shells)
+    if out.shape != expected:
+        raise AssertionError(f"transformed shape {out.shape} != {expected}")
+    return out

@@ -1,0 +1,5 @@
+"""The paper's analytic performance model (Sec III-G)."""
+
+from repro.model.perfmodel import PerfModel
+
+__all__ = ["PerfModel"]

@@ -1,0 +1,5 @@
+"""Real host-parallel execution paths (multiprocessing)."""
+
+from repro.parallel.mp_fock import parallel_build_jk, parallel_fock_matrix
+
+__all__ = ["parallel_build_jk", "parallel_fock_matrix"]

@@ -1,0 +1,22 @@
+"""Simulated distributed runtime: machine model, accounting, Global Arrays."""
+
+from repro.runtime.collectives import allreduce, barrier, broadcast, reduce_scatter
+from repro.runtime.event import EventQueue
+from repro.runtime.ga import GlobalArray, SharedCounter, block_bounds, grid_shape
+from repro.runtime.machine import LONESTAR, MachineConfig
+from repro.runtime.network import CommStats
+
+__all__ = [
+    "allreduce",
+    "barrier",
+    "broadcast",
+    "reduce_scatter",
+    "EventQueue",
+    "GlobalArray",
+    "SharedCounter",
+    "block_bounds",
+    "grid_shape",
+    "LONESTAR",
+    "MachineConfig",
+    "CommStats",
+]

@@ -1,0 +1,71 @@
+"""Collective-operation cost models for the simulated runtime.
+
+Global Arrays programs still need a few collectives (barriers around the
+Fock phase, allreduce for traces/convergence checks, broadcast of the
+converged density).  These charge standard tree/butterfly alpha-beta
+costs to every process and synchronize clocks where semantics require.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.runtime.network import CommStats
+
+
+def _rounds(nproc: int) -> int:
+    return max(1, int(math.ceil(math.log2(max(nproc, 2)))))
+
+
+def barrier(stats: CommStats) -> float:
+    """Dissemination barrier: log2(p) latency rounds, then sync clocks."""
+    r = _rounds(stats.nproc)
+    for p in range(stats.nproc):
+        stats.charge_comm(p, 0, ncalls=r, remote=stats.nproc > 1)
+    return stats.barrier()
+
+
+def allreduce(stats: CommStats, nbytes: float) -> float:
+    """Recursive-doubling allreduce of ``nbytes`` per process.
+
+    Each round moves the payload once; clocks synchronize at the end
+    (every process holds the result).
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    r = _rounds(stats.nproc)
+    for p in range(stats.nproc):
+        stats.charge_comm(p, nbytes * r, ncalls=r, remote=stats.nproc > 1)
+    return stats.barrier()
+
+
+def broadcast(stats: CommStats, nbytes: float, root: int = 0) -> float:
+    """Binomial-tree broadcast from ``root``.
+
+    Non-root processes cannot finish before the root's data exists, so
+    all clocks are raised to the completion time.
+    """
+    if not 0 <= root < stats.nproc:
+        raise IndexError(f"root {root} out of range")
+    r = _rounds(stats.nproc)
+    for p in range(stats.nproc):
+        ncalls = r if p == root else 1
+        stats.charge_comm(p, nbytes, ncalls=ncalls, remote=stats.nproc > 1)
+    return stats.barrier()
+
+
+def reduce_scatter(stats: CommStats, nbytes_total: float) -> float:
+    """Pairwise-exchange reduce-scatter of a ``nbytes_total`` buffer.
+
+    Volume per process is ~``nbytes_total * (p-1)/p``; used to model the
+    final distributed-F assembly alternative to one-sided accumulates.
+    """
+    if nbytes_total < 0:
+        raise ValueError("nbytes_total must be >= 0")
+    p = stats.nproc
+    share = nbytes_total * (p - 1) / max(p, 1)
+    for proc in range(p):
+        stats.charge_comm(proc, share, ncalls=max(p - 1, 1), remote=p > 1)
+    return stats.barrier()

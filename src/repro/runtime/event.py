@@ -1,0 +1,50 @@
+"""Minimal discrete-event core used by the scheduler simulations.
+
+A thin, allocation-light wrapper over :mod:`heapq` with lazy
+invalidation: events carry a version stamp per key, and stale events are
+skipped on pop.  This is all the work-stealing and centralized-scheduler
+simulations need -- they only track "process finishes its queue at time t"
+events that get invalidated when a thief mutates the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any
+
+
+class EventQueue:
+    """Time-ordered event queue with per-key lazy invalidation."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any, int]] = []
+        self._version: dict[Any, int] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, key: Any) -> None:
+        """Schedule (or reschedule) the event for ``key`` at ``time``.
+
+        Any previously scheduled event for the same key becomes stale.
+        """
+        if time < 0:
+            raise ValueError(f"negative event time {time}")
+        version = self._version.get(key, 0) + 1
+        self._version[key] = version
+        heapq.heappush(self._heap, (time, next(self._counter), key, version))
+
+    def cancel(self, key: Any) -> None:
+        """Invalidate any pending event for ``key``."""
+        if key in self._version:
+            self._version[key] += 1
+
+    def pop(self) -> tuple[float, Any] | None:
+        """Earliest live event as ``(time, key)``, or None when drained."""
+        while self._heap:
+            time, _seq, key, version = heapq.heappop(self._heap)
+            if self._version.get(key) == version:
+                return time, key
+        return None

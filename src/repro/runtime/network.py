@@ -1,0 +1,97 @@
+"""Per-process communication accounting for the simulated runtime.
+
+Tracks, for every simulated process, the quantities the paper reports:
+
+* Table VI: communication volume (bytes moved, *including* local
+  transfers -- the paper measures totals including local for fairness),
+* Table VII: number of Global Arrays one-sided calls,
+
+plus the virtual clock each process accumulates.  Data movement itself is
+performed by :class:`repro.runtime.ga.GlobalArray`; this class only does
+cost/statistics bookkeeping so that numeric execution and timing-only
+simulation share one accounting path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.machine import MachineConfig
+
+
+class CommStats:
+    """Mutable per-process communication counters and clocks."""
+
+    def __init__(self, nproc: int, config: MachineConfig):
+        if nproc < 1:
+            raise ValueError(f"need at least one process, got {nproc}")
+        self.nproc = nproc
+        self.config = config
+        self.calls = np.zeros(nproc, dtype=np.int64)
+        self.bytes = np.zeros(nproc, dtype=np.int64)
+        self.remote_calls = np.zeros(nproc, dtype=np.int64)
+        self.remote_bytes = np.zeros(nproc, dtype=np.int64)
+        #: virtual per-process clock (seconds)
+        self.clock = np.zeros(nproc)
+        #: portion of the clock spent in communication
+        self.comm_time = np.zeros(nproc)
+        #: portion of the clock spent computing
+        self.comp_time = np.zeros(nproc)
+
+    def _check(self, proc: int) -> None:
+        if not 0 <= proc < self.nproc:
+            raise IndexError(f"process {proc} out of range [0, {self.nproc})")
+
+    def charge_comm(
+        self, proc: int, nbytes: float, ncalls: int = 1, remote: bool = True
+    ) -> float:
+        """Account a communication operation; returns the time charged."""
+        self._check(proc)
+        self.calls[proc] += ncalls
+        self.bytes[proc] += int(nbytes)
+        dt = 0.0
+        if remote:
+            self.remote_calls[proc] += ncalls
+            self.remote_bytes[proc] += int(nbytes)
+            dt = self.config.transfer_time(nbytes, ncalls)
+        else:
+            # local transfers still cost memory bandwidth; model as a
+            # fraction of network transfer cost with no latency
+            dt = nbytes / (10.0 * self.config.bandwidth)
+        self.clock[proc] += dt
+        self.comm_time[proc] += dt
+        return dt
+
+    def charge_compute(self, proc: int, seconds: float) -> None:
+        """Advance a process's clock by pure computation time."""
+        self._check(proc)
+        if seconds < 0:
+            raise ValueError("negative compute time")
+        self.clock[proc] += seconds
+        self.comp_time[proc] += seconds
+
+    def barrier(self) -> float:
+        """Synchronize all clocks to the maximum; returns the barrier time."""
+        t = float(self.clock.max())
+        self.clock[:] = t
+        return t
+
+    # -- report helpers ------------------------------------------------------
+
+    def volume_mb_per_process(self) -> float:
+        """Average communication volume in MB/process (Table VI metric)."""
+        return float(self.bytes.mean()) / 1e6
+
+    def calls_per_process(self) -> float:
+        """Average number of GA calls/process (Table VII metric)."""
+        return float(self.calls.mean())
+
+    def summary(self) -> dict:
+        return {
+            "nproc": self.nproc,
+            "avg_volume_mb": self.volume_mb_per_process(),
+            "avg_calls": self.calls_per_process(),
+            "avg_comm_time": float(self.comm_time.mean()),
+            "avg_comp_time": float(self.comp_time.mean()),
+            "makespan": float(self.clock.max()),
+        }

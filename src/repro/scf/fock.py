@@ -1,0 +1,148 @@
+"""Sequential reference Fock construction.
+
+This is the single-process "ground truth" every distributed builder in
+:mod:`repro.fock` is validated against: it enumerates *canonical* shell
+quartets (8-fold-unique, Cauchy-Schwarz screened), scatters each computed
+block to all of its permutation images, and assembles
+
+``F = H^core + 2J - K``          (Eq 3 of the paper).
+
+The scatter helper :func:`orbit_images` is shared with the distributed
+builders so numeric equality is a test of *task coverage and data
+movement*, not of contraction formulas.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.integrals.engine import ERIEngine
+from repro.util.validation import check_symmetric
+
+#: The 8 axis permutations of an (ab|cd) block, as (shell-index permutation).
+EIGHT_PERMUTATIONS: tuple[tuple[int, int, int, int], ...] = (
+    (0, 1, 2, 3),
+    (1, 0, 2, 3),
+    (0, 1, 3, 2),
+    (1, 0, 3, 2),
+    (2, 3, 0, 1),
+    (3, 2, 0, 1),
+    (2, 3, 1, 0),
+    (3, 2, 1, 0),
+)
+
+
+def orbit_images(
+    quartet: tuple[int, int, int, int], block: np.ndarray
+) -> Iterator[tuple[tuple[int, int, int, int], np.ndarray]]:
+    """Distinct shell-tuple images of a quartet with matching block transposes.
+
+    Yields each *distinct* (a, b, c, d) shell tuple in the permutational
+    orbit of ``quartet``, paired with the correspondingly transposed
+    integral block.  Deduplication by shell tuple is what makes
+    coincident-index quartets (e.g. (MM|PQ)) contribute exactly once.
+    """
+    seen: set[tuple[int, int, int, int]] = set()
+    for perm in EIGHT_PERMUTATIONS:
+        target = (
+            quartet[perm[0]],
+            quartet[perm[1]],
+            quartet[perm[2]],
+            quartet[perm[3]],
+        )
+        if target in seen:
+            continue
+        seen.add(target)
+        yield target, np.transpose(block, perm)
+
+
+def canonical_shell_quartets(
+    sigma: np.ndarray, tau: float
+) -> Iterator[tuple[int, int, int, int]]:
+    """Canonical (M>=N, pair(MN) >= pair(PQ)) screened shell quartets.
+
+    ``sigma`` is the shell-pair Schwarz matrix; a quartet survives iff
+    ``sigma[M,N] * sigma[P,Q] > tau``.
+    """
+    ns = sigma.shape[0]
+    for m in range(ns):
+        for n in range(m + 1):
+            smn = sigma[m, n]
+            if smn <= 0.0:
+                continue
+            for p in range(m + 1):
+                qmax = n if p == m else p
+                for q in range(qmax + 1):
+                    if smn * sigma[p, q] > tau:
+                        yield (m, n, p, q)
+
+
+def scatter_quartet(
+    j: np.ndarray,
+    k: np.ndarray,
+    density: np.ndarray,
+    basis: BasisSet,
+    quartet: tuple[int, int, int, int],
+    block: np.ndarray,
+) -> None:
+    """Accumulate one computed quartet into J and K (full-matrix buffers).
+
+    For every distinct image (a,b|c,d) of the quartet::
+
+        J[a,b] += sum_cd (ab|cd) D[c,d]
+        K[a,c] += sum_bd (ab|cd) D[b,d]
+    """
+    slices = [basis.shell_slice(s) for s in range(basis.nshells)]
+    for (a, b, c, d), blk in orbit_images(quartet, block):
+        sa, sb, sc, sd = slices[a], slices[b], slices[c], slices[d]
+        j[sa, sb] += np.einsum("abcd,cd->ab", blk, density[sc, sd])
+        k[sa, sc] += np.einsum("abcd,bd->ac", blk, density[sb, sd])
+
+
+def build_jk(
+    engine: ERIEngine,
+    density: np.ndarray,
+    tau: float = 1e-11,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coulomb and exchange matrices by canonical quartet enumeration.
+
+    Parameters
+    ----------
+    engine:
+        ERI engine (provides quartets and the Schwarz matrix).
+    density:
+        Symmetric density matrix D, shape (nbf, nbf).
+    tau:
+        Cauchy-Schwarz drop tolerance (the paper uses 1e-10).
+    """
+    basis = engine.basis
+    check_symmetric(density, "density", tol=1e-8)
+    n = basis.nbf
+    j = np.zeros((n, n))
+    k = np.zeros((n, n))
+    sigma = engine.schwarz()
+    for quartet in canonical_shell_quartets(sigma, tau):
+        block = engine.quartet(*quartet)
+        scatter_quartet(j, k, density, basis, quartet, block)
+    return j, k
+
+
+def fock_matrix(
+    engine: ERIEngine,
+    hcore: np.ndarray,
+    density: np.ndarray,
+    tau: float = 1e-11,
+) -> np.ndarray:
+    """Closed-shell Fock matrix F = H^core + 2J - K (Eq 3)."""
+    j, k = build_jk(engine, density, tau)
+    return hcore + 2.0 * j - k
+
+
+def hf_electronic_energy(
+    hcore: np.ndarray, fock: np.ndarray, density: np.ndarray
+) -> float:
+    """Closed-shell electronic energy  E = sum_ij D_ij (H_ij + F_ij)."""
+    return float(np.sum(density * (hcore + fock)))

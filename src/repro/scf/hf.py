@@ -1,0 +1,171 @@
+"""Restricted Hartree-Fock driver (Algorithm 1 of the paper).
+
+Iterates Fock construction and density formation to self-consistency.
+The density step can use either matrix diagonalization (line 8 of
+Algorithm 1) or canonical purification (Sec IV-E), and any
+:class:`~repro.integrals.engine.ERIEngine` supplies the two-electron
+integrals, so the same driver runs on real or synthetic integrals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.molecule import Molecule
+from repro.integrals.engine import ERIEngine, MDEngine
+from repro.integrals.oneelec import core_hamiltonian, overlap
+from repro.scf.diis import DIIS
+from repro.scf.fock import fock_matrix, hf_electronic_energy
+from repro.scf.guess import core_guess
+from repro.scf.orthogonalization import density_from_fock, orthogonalizer
+from repro.scf.purification import purify
+
+
+@dataclass
+class SCFResult:
+    """Converged (or final) state of an RHF run."""
+
+    energy: float
+    electronic_energy: float
+    nuclear_repulsion: float
+    converged: bool
+    iterations: int
+    fock: np.ndarray
+    density: np.ndarray
+    coefficients: np.ndarray | None
+    orbital_energies: np.ndarray | None
+    energy_history: list[float] = field(default_factory=list)
+
+    @property
+    def homo_lumo_gap(self) -> float | None:
+        if self.orbital_energies is None:
+            return None
+        nocc = int(round(np.trace(self.density @ np.eye(self.density.shape[0]))))
+        eps = self.orbital_energies
+        if nocc <= 0 or nocc >= eps.size:
+            return None
+        return float(eps[nocc] - eps[nocc - 1])
+
+
+@dataclass
+class RHF:
+    """Restricted closed-shell Hartree-Fock.
+
+    Parameters
+    ----------
+    molecule:
+        Closed-shell molecule (even electron count).
+    basis_name:
+        Basis registry key (default ``sto-3g``).
+    engine:
+        Optional pre-built ERI engine; defaults to
+        :class:`~repro.integrals.engine.MDEngine`.
+    tau:
+        Cauchy-Schwarz drop tolerance used in every Fock build.
+    use_diis:
+        Pulay convergence acceleration (recommended).
+    density_method:
+        ``"diagonalize"`` (Algorithm 1, line 8) or ``"purify"``
+        (Sec IV-E's diagonalization-free path).
+    incremental:
+        Build the two-electron part from density differences
+        (:class:`~repro.scf.incremental.IncrementalFockBuilder`): late
+        iterations screen away almost all quartets.
+    """
+
+    molecule: Molecule
+    basis_name: str = "sto-3g"
+    engine: ERIEngine | None = None
+    tau: float = 1e-11
+    use_diis: bool = True
+    density_method: str = "diagonalize"
+    incremental: bool = False
+    max_iter: int = 100
+    e_tol: float = 1e-9
+    d_tol: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.molecule.nelectrons % 2 != 0:
+            raise ValueError(
+                f"RHF requires an even electron count, got {self.molecule.nelectrons}"
+            )
+        if self.density_method not in ("diagonalize", "purify"):
+            raise ValueError(f"unknown density_method {self.density_method!r}")
+        self.basis = (
+            self.engine.basis
+            if self.engine is not None
+            else BasisSet.build(self.molecule, self.basis_name)
+        )
+        if self.engine is None:
+            self.engine = MDEngine(self.basis)
+        self.nocc = self.molecule.nelectrons // 2
+        if self.nocc > self.basis.nbf:
+            raise ValueError(
+                f"{self.nocc} occupied orbitals exceed {self.basis.nbf} basis functions"
+            )
+
+    def run(self, guess: np.ndarray | None = None) -> SCFResult:
+        """Run the SCF iteration to convergence (Algorithm 1)."""
+        s = overlap(self.basis)
+        h = core_hamiltonian(self.basis)
+        x = orthogonalizer(s)
+        enuc = self.molecule.nuclear_repulsion()
+        d = guess if guess is not None else core_guess(h, x, self.nocc)
+
+        diis = DIIS() if self.use_diis else None
+        inc_builder = None
+        if self.incremental:
+            from repro.scf.incremental import IncrementalFockBuilder
+
+            inc_builder = IncrementalFockBuilder(self.engine, tau=self.tau)
+        history: list[float] = []
+        e_old = np.inf
+        f = h
+        coeffs: np.ndarray | None = None
+        eps: np.ndarray | None = None
+        converged = False
+        it = 0
+        for it in range(1, self.max_iter + 1):
+            if inc_builder is not None:
+                f = inc_builder.fock(h, d)
+            else:
+                f = fock_matrix(self.engine, h, d, self.tau)
+            e_elec = hf_electronic_energy(h, f, d)
+            history.append(e_elec + enuc)
+            if diis is not None:
+                err = DIIS.error_vector(f, d, s, x)
+                diis.push(f, err)
+                f_eff = diis.extrapolate()
+            else:
+                f_eff = f
+            if self.density_method == "diagonalize":
+                d_new, eps, coeffs = density_from_fock(f_eff, x, self.nocc)
+            else:
+                res = purify(x.T @ f_eff @ x, self.nocc)
+                d_new = x @ res.density @ x.T
+            d_change = float(np.max(np.abs(d_new - d)))
+            e_change = abs(e_elec + enuc - e_old)
+            e_old = e_elec + enuc
+            d = d_new
+            if d_change < self.d_tol and e_change < self.e_tol:
+                converged = True
+                break
+
+        # final energy with the converged density
+        f = fock_matrix(self.engine, h, d, self.tau)
+        e_elec = hf_electronic_energy(h, f, d)
+        return SCFResult(
+            energy=e_elec + enuc,
+            electronic_energy=e_elec,
+            nuclear_repulsion=enuc,
+            converged=converged,
+            iterations=it,
+            fock=f,
+            density=d,
+            coefficients=coeffs,
+            orbital_energies=eps,
+            energy_history=history,
+        )

@@ -1,0 +1,67 @@
+"""Basis orthogonalization: X = U s^{-1/2} U^T (lines 3-4 of Algorithm 1).
+
+Symmetric (Loewdin) orthogonalization by default, with canonical
+orthogonalization as a fallback when the overlap matrix is nearly
+singular (linearly dependent basis sets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_symmetric
+
+
+def orthogonalizer(
+    s: np.ndarray, threshold: float = 1e-8, canonical: bool = False
+) -> np.ndarray:
+    """Transformation X with ``X^T S X = I``.
+
+    Parameters
+    ----------
+    s:
+        Overlap matrix.
+    threshold:
+        Eigenvalues below ``threshold * max_eig`` are dropped (canonical)
+        or rejected (symmetric).
+    canonical:
+        Force canonical orthogonalization (columns may be fewer than nbf).
+    """
+    check_symmetric(s, "overlap", tol=1e-8)
+    vals, vecs = np.linalg.eigh(0.5 * (s + s.T))
+    vmax = float(vals.max())
+    if vmax <= 0:
+        raise ValueError("overlap matrix is not positive definite")
+    keep = vals > threshold * vmax
+    if canonical or not keep.all():
+        if not keep.any():
+            raise ValueError("overlap matrix has no usable eigenvalues")
+        return vecs[:, keep] / np.sqrt(vals[keep])
+    return (vecs / np.sqrt(vals)) @ vecs.T
+
+
+def density_from_coefficients(c_occ: np.ndarray) -> np.ndarray:
+    """Closed-shell density D = C_occ C_occ^T (line 10 of Algorithm 1).
+
+    Note: we adopt the convention ``D = C_occ C_occ^T`` (without the
+    factor 2); the factor appears in ``F = H + 2J - K`` and in the energy
+    expression instead, matching Eq (3) of the paper.
+    """
+    return c_occ @ c_occ.T
+
+
+def density_from_fock(
+    fock: np.ndarray, x: np.ndarray, nocc: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Diagonalize F in the orthogonal basis and form the new density.
+
+    Returns (density, orbital_energies, coefficients) -- lines 7-10 of
+    Algorithm 1.
+    """
+    if nocc <= 0:
+        raise ValueError(f"need at least one occupied orbital, got nocc={nocc}")
+    f_ortho = x.T @ fock @ x
+    eps, c_prime = np.linalg.eigh(0.5 * (f_ortho + f_ortho.T))
+    c = x @ c_prime
+    c_occ = c[:, :nocc]
+    return density_from_coefficients(c_occ), eps, c

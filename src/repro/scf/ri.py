@@ -1,0 +1,131 @@
+"""Density-fitted (RI) Coulomb builds.
+
+Resolution-of-the-identity: expand the density in an auxiliary basis
+``{P}`` and contract 3-center instead of 4-center integrals::
+
+    c_P   = sum_Q [V^{-1}]_PQ (Q|rs) D_rs,   V_PQ = (P|Q)
+    J_mn ~= sum_P (mn|P) c_P
+
+The paper's conclusion anticipates much faster integral technology
+(GPUs) shifting the balance toward communication; RI is the classic
+software route to the same end -- :func:`repro.model.perfmodel` can be
+fed an RI-effective t_int to study that regime (see
+``benchmarks/test_bench_model_crossover.py``).
+
+Auxiliary bases here are even-tempered expansions generated per element
+from the orbital basis exponents -- adequate for the mHa-level fitting
+accuracy the tests assert, and entirely self-contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.basis.shells import Shell
+from repro.integrals.eri_3center import eri_2center_block, eri_3center_block
+from repro.util.validation import check_symmetric
+
+
+def even_tempered_auxiliary(
+    basis: BasisSet, beta: float = 2.2, nper: int = 8, lmax: int = 1
+) -> BasisSet:
+    """Generate an even-tempered auxiliary basis for an orbital basis.
+
+    Per atom: uncontracted shells with exponents
+    ``alpha_min * beta^k`` spanning [2*alpha_min, 2*alpha_max] of the
+    atom's orbital exponents (densities are products of two orbitals, so
+    the auxiliary range doubles the orbital range), for l = 0..lmax.
+    """
+    if beta <= 1.0:
+        raise ValueError("even-tempered ratio beta must exceed 1")
+    shells: list[Shell] = []
+    mol = basis.molecule
+    per_atom: dict[int, tuple[float, float]] = {}
+    for sh in basis.shells:
+        lo, hi = per_atom.get(sh.atom_index, (np.inf, 0.0))
+        per_atom[sh.atom_index] = (
+            min(lo, float(sh.exps.min())),
+            max(hi, float(sh.exps.max())),
+        )
+    for iat, atom in enumerate(mol.atoms):
+        lo, hi = per_atom[iat]
+        amin, amax = 2.0 * lo, 2.0 * hi
+        n = max(
+            nper,
+            int(np.ceil(np.log(amax / amin) / np.log(beta))) + 1,
+        )
+        exps = amin * beta ** np.arange(n)
+        for l in range(lmax + 1):
+            for a in exps:
+                if l > 0 and a > 100.0:
+                    continue  # tight high-l fitting functions are useless
+                shells.append(
+                    Shell(
+                        l=l,
+                        exps=np.array([a]),
+                        coefs=np.array([1.0]),
+                        center=np.array(atom.position),
+                        atom_index=iat,
+                    )
+                )
+    return BasisSet(molecule=mol, shells=shells, name=f"{basis.name}-etb")
+
+
+@dataclass
+class RIJBuilder:
+    """Precomputed density-fitting machinery for a basis/auxiliary pair."""
+
+    basis: BasisSet
+    aux: BasisSet
+    #: (nbf, nbf, naux) three-center tensor
+    b3: np.ndarray
+    #: Cholesky-style solve against the (P|Q) metric
+    metric: np.ndarray
+
+    @classmethod
+    def build(cls, basis: BasisSet, aux: BasisSet | None = None) -> "RIJBuilder":
+        if aux is None:
+            aux = even_tempered_auxiliary(basis)
+        n, na = basis.nbf, aux.nbf
+        b3 = np.empty((n, n, na))
+        for i in range(basis.nshells):
+            si = basis.shell_slice(i)
+            for j in range(i + 1):
+                sj = basis.shell_slice(j)
+                for p in range(aux.nshells):
+                    sp = aux.shell_slice(p)
+                    blk = eri_3center_block(
+                        basis.shells[i], basis.shells[j], aux.shells[p]
+                    )
+                    b3[si, sj, sp] = blk
+                    if i != j:
+                        b3[sj, si, sp] = blk.transpose(1, 0, 2)
+        v = np.empty((na, na))
+        for p in range(aux.nshells):
+            sp = aux.shell_slice(p)
+            for q in range(p + 1):
+                sq = aux.shell_slice(q)
+                blk = eri_2center_block(aux.shells[p], aux.shells[q])
+                v[sp, sq] = blk
+                if p != q:
+                    v[sq, sp] = blk.T
+        return cls(basis=basis, aux=aux, b3=b3, metric=v)
+
+    def coulomb(self, density: np.ndarray) -> np.ndarray:
+        """Fitted Coulomb matrix ``J[D]``."""
+        check_symmetric(density, "density", tol=1e-8)
+        gamma = np.einsum("mnP,mn->P", self.b3, density, optimize=True)
+        # solve V c = gamma with a pseudo-inverse fallback for
+        # near-singular even-tempered metrics
+        try:
+            coef = np.linalg.solve(self.metric, gamma)
+        except np.linalg.LinAlgError:
+            coef = np.linalg.lstsq(self.metric, gamma, rcond=1e-12)[0]
+        return np.einsum("mnP,P->mn", self.b3, coef, optimize=True)
+
+    def fitting_error(self, density: np.ndarray, j_exact: np.ndarray) -> float:
+        """max |J_RI - J_exact| for diagnostics."""
+        return float(np.max(np.abs(self.coulomb(density) - j_exact)))

@@ -1,0 +1,18 @@
+"""Small shared utilities: validation helpers and timing."""
+
+from repro.util.validation import (
+    check_positive,
+    check_square,
+    check_symmetric,
+    require,
+)
+from repro.util.timing import Timer, wall_time
+
+__all__ = [
+    "check_positive",
+    "check_square",
+    "check_symmetric",
+    "require",
+    "Timer",
+    "wall_time",
+]

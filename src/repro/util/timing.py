@@ -1,0 +1,52 @@
+"""Wall-clock timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def wall_time() -> float:
+    """Monotonic wall-clock time in seconds."""
+    return time.perf_counter()
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("Timer already running")
+        self._start = wall_time()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer not running")
+        dt = wall_time() - self._start
+        self.elapsed += dt
+        self._start = None
+        return dt
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,36 @@
+"""Argument validation helpers used across the library.
+
+These raise early, descriptive errors instead of letting bad inputs surface
+as cryptic NumPy broadcasting failures deep inside the integral or
+simulation code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_square(a: np.ndarray, name: str = "matrix") -> None:
+    """Require ``a`` to be a square 2-D array."""
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"{name} must be square 2-D, got shape {a.shape}")
+
+
+def check_symmetric(a: np.ndarray, name: str = "matrix", tol: float = 1e-10) -> None:
+    """Require ``a`` to be symmetric to within ``tol`` (max abs deviation)."""
+    check_square(a, name)
+    dev = float(np.max(np.abs(a - a.T))) if a.size else 0.0
+    if dev > tol:
+        raise ValueError(f"{name} is not symmetric: max|A-A^T| = {dev:.3e} > {tol:.3e}")

@@ -1,0 +1,105 @@
+"""Shared fixtures: small molecules, bases, engines, and reference matrices.
+
+Everything expensive (integral evaluation, reference Fock builds) is
+session-scoped so the full suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.builders import h2, methane, water
+from repro.integrals.engine import MDEngine, SyntheticERIEngine
+from repro.integrals.oneelec import core_hamiltonian, overlap
+from repro.scf.fock import fock_matrix
+from repro.scf.guess import core_guess
+from repro.scf.orthogonalization import orthogonalizer
+
+
+@pytest.fixture(scope="session")
+def water_mol():
+    return water()
+
+
+@pytest.fixture(scope="session")
+def water_basis(water_mol):
+    return BasisSet.build(water_mol, "sto-3g")
+
+
+@pytest.fixture(scope="session")
+def water_engine(water_basis):
+    return MDEngine(water_basis)
+
+
+@pytest.fixture(scope="session")
+def water_matrices(water_mol, water_basis):
+    """(S, Hcore, X, D_guess) for water/STO-3G."""
+    s = overlap(water_basis)
+    h = core_hamiltonian(water_basis)
+    x = orthogonalizer(s)
+    d = core_guess(h, x, water_mol.nelectrons // 2)
+    return s, h, x, d
+
+
+@pytest.fixture(scope="session")
+def water_fock_reference(water_engine, water_matrices):
+    _s, h, _x, d = water_matrices
+    return fock_matrix(water_engine, h, d, 1e-11)
+
+
+@pytest.fixture(scope="session")
+def methane_mol():
+    return methane()
+
+
+@pytest.fixture(scope="session")
+def methane_basis(methane_mol):
+    return BasisSet.build(methane_mol, "sto-3g")
+
+
+@pytest.fixture(scope="session")
+def methane_engine(methane_basis):
+    return MDEngine(methane_basis)
+
+
+@pytest.fixture(scope="session")
+def methane_matrices(methane_mol, methane_basis):
+    s = overlap(methane_basis)
+    h = core_hamiltonian(methane_basis)
+    x = orthogonalizer(s)
+    d = core_guess(h, x, methane_mol.nelectrons // 2)
+    return s, h, x, d
+
+
+@pytest.fixture(scope="session")
+def methane_fock_reference(methane_engine, methane_matrices):
+    _s, h, _x, d = methane_matrices
+    return fock_matrix(methane_engine, h, d, 1e-11)
+
+
+@pytest.fixture(scope="session")
+def h2_mol():
+    return h2(0.7414)
+
+
+@pytest.fixture(scope="session")
+def synthetic_engine():
+    """Synthetic-ERI engine on propane (cheap quartets, closed-form J/K).
+
+    19 shells -- enough for multi-process partitions -- with every
+    quartet an O(1) slice instead of a real integral.
+    """
+    from repro.chem.builders import alkane
+
+    basis = BasisSet.build(alkane(3), "sto-3g")
+    return SyntheticERIEngine(basis)
+
+
+@pytest.fixture(scope="session")
+def synthetic_density(synthetic_engine):
+    rng = np.random.default_rng(11)
+    n = synthetic_engine.basis.nbf
+    a = rng.normal(size=(n, n)) / n
+    return a @ a.T

@@ -1,0 +1,89 @@
+"""Tests for the ablation studies and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.builders import alkane
+from repro.cli import main
+from repro.fock.ablation import (
+    granularity_ablation,
+    reordering_ablation,
+    stealing_ablation,
+)
+from repro.fock.reorder import reorder_basis
+from repro.fock.screening_map import ScreeningMap
+from repro.integrals.schwarz import schwarz_model
+
+
+@pytest.fixture(scope="module")
+def scrambled_basis():
+    basis = BasisSet.build(alkane(10), "vdz-sim")
+    rng = np.random.default_rng(2)
+    return basis.permuted(rng.permutation(basis.nshells))
+
+
+@pytest.fixture(scope="module")
+def screen10():
+    basis = reorder_basis(BasisSet.build(alkane(10), "vdz-sim"))
+    return basis, ScreeningMap(basis, schwarz_model(basis), 1e-10)
+
+
+class TestReorderingAblation:
+    def test_orderings_reduce_footprint(self, scrambled_basis):
+        rows = reordering_ablation(scrambled_basis, cores=192)
+        by_label = {r.label: r.metrics for r in rows}
+        assert set(by_label) == {"none", "natural", "hilbert"}
+        assert (
+            by_label["natural"]["avg_footprint_elements"]
+            < by_label["none"]["avg_footprint_elements"]
+        )
+        assert (
+            by_label["natural"]["comm_mb_per_proc"]
+            < by_label["none"]["comm_mb_per_proc"]
+        )
+
+
+class TestStealingAblation:
+    def test_stealing_beats_static(self, screen10):
+        basis, screen = screen10
+        rows = stealing_ablation(basis, screen, cores=768)
+        by_label = {r.label: r.metrics for r in rows}
+        static_l = by_label["no-stealing"]["load_balance"]
+        for frac in (0.25, 0.5, 1.0):
+            assert by_label[f"steal-{frac:g}"]["load_balance"] <= static_l
+
+
+class TestGranularityAblation:
+    def test_coarser_tasks_fewer_count(self, screen10):
+        basis, screen = screen10
+        rows = granularity_ablation(basis, screen, cores=768, row_groups=(1, 4))
+        assert rows[0].metrics["ntasks"] > rows[1].metrics["ntasks"]
+
+    def test_work_conserved(self, screen10):
+        """Total makespan*p stays in the same ballpark across granularity."""
+        basis, screen = screen10
+        rows = granularity_ablation(basis, screen, cores=768, row_groups=(1, 16))
+        m1, m16 = rows[0].metrics["makespan"], rows[1].metrics["makespan"]
+        assert 0.5 < m1 / m16 < 2.0
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "C96H24" in out and "sto-3g" in out
+
+    def test_scf_h2(self, capsys):
+        assert main(["scf", "h2"]) == 0
+        out = capsys.readouterr().out
+        assert "-1.116" in out
+
+    def test_model_command(self, capsys):
+        assert main(["model"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])

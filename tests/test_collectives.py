@@ -1,0 +1,64 @@
+"""Tests for collective-operation cost models."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.collectives import allreduce, barrier, broadcast, reduce_scatter
+from repro.runtime.machine import LONESTAR
+from repro.runtime.network import CommStats
+
+
+class TestBarrier:
+    def test_synchronizes_clocks(self):
+        stats = CommStats(4, LONESTAR)
+        stats.charge_compute(2, 7.0)
+        t = barrier(stats)
+        assert t >= 7.0
+        assert np.all(stats.clock == t)
+
+    def test_single_process_cheap(self):
+        stats = CommStats(1, LONESTAR)
+        t = barrier(stats)
+        assert t == pytest.approx(0.0, abs=1e-9)
+
+
+class TestAllreduce:
+    def test_log_rounds_cost(self):
+        stats = CommStats(8, LONESTAR)
+        allreduce(stats, 800.0)
+        # 3 rounds of 800 bytes each, per process
+        assert np.all(stats.bytes == 2400)
+        assert np.all(stats.calls == 3)
+
+    def test_clocks_equal_after(self):
+        stats = CommStats(5, LONESTAR)
+        stats.charge_compute(0, 1.0)
+        allreduce(stats, 8.0)
+        assert np.all(stats.clock == stats.clock[0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            allreduce(CommStats(2, LONESTAR), -1.0)
+
+
+class TestBroadcast:
+    def test_root_does_more_calls(self):
+        stats = CommStats(8, LONESTAR)
+        broadcast(stats, 1000.0, root=2)
+        assert stats.calls[2] > stats.calls[0]
+
+    def test_bad_root(self):
+        with pytest.raises(IndexError):
+            broadcast(CommStats(2, LONESTAR), 10.0, root=5)
+
+
+class TestReduceScatter:
+    def test_share_scales(self):
+        stats = CommStats(4, LONESTAR)
+        reduce_scatter(stats, 4000.0)
+        assert np.all(stats.bytes == 3000)  # (p-1)/p of the total
+
+    def test_monotone_in_p(self):
+        t_small = reduce_scatter(CommStats(2, LONESTAR), 1e6)
+        t_big = reduce_scatter(CommStats(32, LONESTAR), 1e6)
+        assert t_big > t_small

@@ -1,0 +1,109 @@
+"""Tests for the ERI engine abstraction (MD, OS, synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.builders import alkane, water
+from repro.integrals.engine import MDEngine, OSEngine, SyntheticERIEngine
+
+
+class TestRealEngines:
+    def test_md_os_quartets_agree(self, water_basis):
+        md = MDEngine(water_basis)
+        os_ = OSEngine(water_basis)
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            m, n, p, q = (int(i) for i in rng.integers(0, water_basis.nshells, 4))
+            assert np.allclose(md.quartet(m, n, p, q), os_.quartet(m, n, p, q),
+                               atol=1e-12)
+
+    def test_quartet_counter(self, water_basis):
+        eng = MDEngine(water_basis)
+        eng.quartet(0, 0, 0, 0)
+        eng.quartet(0, 1, 0, 1)
+        assert eng.quartets_computed == 2
+
+    def test_schwarz_cached(self, water_engine):
+        s1 = water_engine.schwarz()
+        s2 = water_engine.schwarz()
+        assert s1 is s2
+
+    def test_model_schwarz_option(self, water_basis):
+        eng = MDEngine(water_basis, model_schwarz=True)
+        s = eng.schwarz()
+        assert s.shape == (water_basis.nshells,) * 2
+        assert np.all(s >= 0)
+
+
+class TestSyntheticEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return SyntheticERIEngine(BasisSet.build(alkane(2), "sto-3g"))
+
+    def test_permutational_symmetries(self, engine):
+        blk = engine.quartet(0, 3, 5, 7)
+        assert np.allclose(blk, engine.quartet(3, 0, 5, 7).transpose(1, 0, 2, 3))
+        assert np.allclose(blk, engine.quartet(0, 3, 7, 5).transpose(0, 1, 3, 2))
+        assert np.allclose(blk, engine.quartet(5, 7, 0, 3).transpose(2, 3, 0, 1))
+
+    def test_decays_with_distance(self, engine):
+        b = engine.basis
+        centers = b.centers
+        far = int(np.argmax(np.linalg.norm(centers - centers[0], axis=1)))
+        v_near = np.abs(engine.quartet(0, 1, 0, 1)).max()
+        v_far = np.abs(engine.quartet(0, far, 0, far)).max()
+        assert v_far < v_near
+
+    def test_schwarz_is_true_bound(self, engine):
+        sigma = engine.schwarz()
+        ns = engine.basis.nshells
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            m, n, p, q = (int(i) for i in rng.integers(0, ns, 4))
+            blk = engine.quartet(m, n, p, q)
+            assert np.max(np.abs(blk)) <= sigma[m, n] * sigma[p, q] * (1 + 1e-9)
+
+    def test_closed_form_coulomb_matches_contraction(self, engine):
+        """J from the closed form == J from explicit dense contraction."""
+        n = engine.basis.nbf
+        rng = np.random.default_rng(3)
+        d = rng.normal(size=(n, n))
+        d = d @ d.T / n
+        # dense reference via small explicit loop over shell quartets
+        j_ref = np.zeros((n, n))
+        b = engine.basis
+        for m in range(b.nshells):
+            for nn in range(b.nshells):
+                for p in range(b.nshells):
+                    for q in range(b.nshells):
+                        blk = engine.quartet(m, nn, p, q)
+                        sm, sn, sp, sq = (b.shell_slice(s) for s in (m, nn, p, q))
+                        j_ref[sm, sn] += np.einsum(
+                            "abcd,cd->ab", blk, d[sp, sq]
+                        )
+        assert np.allclose(engine.coulomb_exact(d), j_ref, atol=1e-10)
+
+    def test_closed_form_exchange_matches_contraction(self, engine):
+        n = engine.basis.nbf
+        rng = np.random.default_rng(4)
+        d = rng.normal(size=(n, n))
+        d = d @ d.T / n
+        k_ref = np.zeros((n, n))
+        b = engine.basis
+        for m in range(b.nshells):
+            for nn in range(b.nshells):
+                for p in range(b.nshells):
+                    for q in range(b.nshells):
+                        blk = engine.quartet(m, nn, p, q)
+                        sm, sn, sp, sq = (b.shell_slice(s) for s in (m, nn, p, q))
+                        k_ref[sm, sp] += np.einsum(
+                            "abcd,bd->ac", blk, d[sn, sq]
+                        )
+        assert np.allclose(engine.exchange_exact(d), k_ref, atol=1e-10)
+
+    def test_deterministic(self):
+        b = BasisSet.build(water(), "sto-3g")
+        e1 = SyntheticERIEngine(b, seed=9)
+        e2 = SyntheticERIEngine(b, seed=9)
+        assert np.allclose(e1.quartet(0, 1, 2, 3), e2.quartet(0, 1, 2, 3))

@@ -1,0 +1,89 @@
+"""Tests for the RHF driver: literature energies, convergence, variants."""
+
+import numpy as np
+import pytest
+
+from repro.chem.builders import h2, methane, water
+from repro.chem.molecule import Molecule
+from repro.scf.hf import RHF
+
+
+@pytest.fixture(scope="module")
+def water_scf():
+    return RHF(water()).run()
+
+
+class TestLiteratureEnergies:
+    def test_h2_sto3g(self):
+        """RHF/STO-3G H2 at 0.7414 A: -1.11668 hartree (textbook value)."""
+        res = RHF(h2(0.7414)).run()
+        assert res.converged
+        assert res.energy == pytest.approx(-1.11668, abs=2e-4)
+
+    def test_water_sto3g(self, water_scf):
+        """RHF/STO-3G water: about -74.963 hartree at this geometry."""
+        assert water_scf.converged
+        assert water_scf.energy == pytest.approx(-74.9629, abs=2e-3)
+
+    def test_h2_dissociation_curve_minimum(self):
+        """The energy minimum sits near the equilibrium bond length."""
+        energies = {
+            r: RHF(h2(r)).run().energy for r in (0.55, 0.7414, 1.1)
+        }
+        assert energies[0.7414] < energies[0.55]
+        assert energies[0.7414] < energies[1.1]
+
+
+class TestConvergenceBehavior:
+    def test_energy_history_converges(self, water_scf):
+        hist = water_scf.energy_history
+        assert abs(hist[-1] - water_scf.energy) < 1e-5
+        # late-iteration changes are tiny
+        assert abs(hist[-1] - hist[-2]) < 1e-6
+
+    def test_density_idempotent(self, water_scf):
+        """Converged D satisfies D S D = D (nocc-projector property)."""
+        from repro.integrals.oneelec import overlap
+        from repro.chem.basis.basisset import BasisSet
+
+        s = overlap(BasisSet.build(water(), "sto-3g"))
+        d = water_scf.density
+        assert np.allclose(d @ s @ d, d, atol=1e-6)
+
+    def test_density_trace_is_nocc(self, water_scf):
+        from repro.integrals.oneelec import overlap
+        from repro.chem.basis.basisset import BasisSet
+
+        s = overlap(BasisSet.build(water(), "sto-3g"))
+        assert np.trace(water_scf.density @ s) == pytest.approx(5.0, abs=1e-8)
+
+    def test_without_diis_same_energy(self):
+        e1 = RHF(h2(0.7414), use_diis=True).run().energy
+        e2 = RHF(h2(0.7414), use_diis=False).run().energy
+        assert e1 == pytest.approx(e2, abs=1e-7)
+
+    def test_purification_density_method(self):
+        e_diag = RHF(h2(0.7414)).run().energy
+        e_pur = RHF(h2(0.7414), density_method="purify").run().energy
+        assert e_pur == pytest.approx(e_diag, abs=1e-7)
+
+
+class TestValidation:
+    def test_odd_electrons_rejected(self):
+        m = Molecule.from_arrays(["H"], np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            RHF(m)
+
+    def test_cation_allowed(self):
+        m = water()
+        m.charge = 2  # 8 electrons, closed shell
+        res = RHF(m, max_iter=50).run()
+        assert res.energy > RHF(water()).run().energy  # cation is higher
+
+    def test_bad_density_method(self):
+        with pytest.raises(ValueError):
+            RHF(water(), density_method="magic")
+
+    def test_variational_bound(self, water_scf):
+        """HF energy must be above the exact ground state (-76.4)."""
+        assert -76.5 < water_scf.energy < -70.0

@@ -1,0 +1,87 @@
+"""Tests for the MP2 module (and the incremental-RHF option)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.builders import h2, water
+from repro.scf.hf import RHF
+from repro.scf.mp2 import ao_to_mo, mp2_energy
+
+
+@pytest.fixture(scope="module")
+def h2_scf():
+    mol = h2(0.7414)
+    return mol, BasisSet.build(mol, "sto-3g"), RHF(mol).run()
+
+
+class TestAOtoMO:
+    def test_identity_transform(self, h2_scf):
+        from repro.integrals.eri_md import eri_tensor
+
+        _mol, basis, _scf = h2_scf
+        eri = eri_tensor(basis)
+        assert np.allclose(ao_to_mo(eri, np.eye(basis.nbf)), eri)
+
+    def test_mo_basis_symmetries_preserved(self, h2_scf):
+        from repro.integrals.eri_md import eri_tensor
+
+        _mol, basis, scf = h2_scf
+        mo = ao_to_mo(eri_tensor(basis), scf.coefficients)
+        assert np.allclose(mo, mo.transpose(1, 0, 2, 3), atol=1e-10)
+        assert np.allclose(mo, mo.transpose(2, 3, 0, 1), atol=1e-10)
+
+
+class TestMP2:
+    def test_h2_sto3g_literature(self, h2_scf):
+        """MP2/STO-3G H2: correlation energy ~ -0.013 hartree."""
+        mol, basis, scf = h2_scf
+        res = mp2_energy(basis, scf, nocc=1)
+        assert res.correlation_energy < 0
+        assert res.correlation_energy == pytest.approx(-0.013, abs=3e-3)
+        assert res.total_energy < scf.energy
+
+    def test_water_correlation_negative(self):
+        mol = water()
+        scf = RHF(mol).run()
+        basis = BasisSet.build(mol, "sto-3g")
+        res = mp2_energy(basis, scf, nocc=5)
+        assert -0.2 < res.correlation_energy < -0.01
+
+    def test_spin_components_sum(self, h2_scf):
+        _mol, basis, scf = h2_scf
+        res = mp2_energy(basis, scf, nocc=1)
+        assert res.correlation_energy == pytest.approx(
+            res.same_spin + res.opposite_spin
+        )
+
+    def test_single_electron_pair_no_same_spin(self, h2_scf):
+        """H2 has one occupied orbital: same-spin MP2 vanishes."""
+        _mol, basis, scf = h2_scf
+        res = mp2_energy(basis, scf, nocc=1)
+        assert res.same_spin == pytest.approx(0.0, abs=1e-12)
+
+    def test_frozen_core_smaller_correlation(self):
+        mol = water()
+        scf = RHF(mol).run()
+        basis = BasisSet.build(mol, "sto-3g")
+        full = mp2_energy(basis, scf, nocc=5)
+        frozen = mp2_energy(basis, scf, nocc=5, frozen_core=1)
+        assert abs(frozen.correlation_energy) < abs(full.correlation_energy)
+
+    def test_bad_frozen_core(self, h2_scf):
+        _mol, basis, scf = h2_scf
+        with pytest.raises(ValueError):
+            mp2_energy(basis, scf, nocc=1, frozen_core=1)
+
+
+class TestIncrementalRHF:
+    def test_same_energy_as_standard(self):
+        e_std = RHF(h2(0.7414)).run().energy
+        e_inc = RHF(h2(0.7414), incremental=True).run().energy
+        assert e_inc == pytest.approx(e_std, abs=1e-8)
+
+    def test_water_incremental(self):
+        e_std = RHF(water()).run().energy
+        e_inc = RHF(water(), incremental=True).run().energy
+        assert e_inc == pytest.approx(e_std, abs=1e-6)

@@ -1,0 +1,66 @@
+"""Tests for the vectorized NWChem task-cost estimation."""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.builders import alkane, water_cluster
+from repro.fock.cost import quartet_cost_matrix
+from repro.fock.nwchem_cost import build_nwchem_task_arrays
+from repro.fock.screening_map import ScreeningMap
+from repro.integrals.schwarz import schwarz_model
+
+
+@pytest.fixture(scope="module")
+def screen():
+    basis = BasisSet.build(alkane(8), "vdz-sim")
+    return ScreeningMap(basis, schwarz_model(basis), 1e-10)
+
+
+class TestTaskArrays:
+    def test_costs_normalized_to_exact_total(self, screen):
+        total = quartet_cost_matrix(screen).total_eris
+        arrays = build_nwchem_task_arrays(screen, total, 1e-6, 0.0)
+        assert arrays.cost.sum() == pytest.approx(total * 1e-6, rel=1e-9)
+
+    def test_task_overhead_added_per_task(self, screen):
+        total = quartet_cost_matrix(screen).total_eris
+        without = build_nwchem_task_arrays(screen, total, 1e-6, 0.0)
+        with_oh = build_nwchem_task_arrays(screen, total, 1e-6, 1e-3)
+        assert with_oh.cost.sum() == pytest.approx(
+            without.cost.sum() + 1e-3 * without.ntasks, rel=1e-9
+        )
+
+    def test_comm_nonnegative_and_paired(self, screen):
+        total = quartet_cost_matrix(screen).total_eris
+        arrays = build_nwchem_task_arrays(screen, total, 1e-6, 0.0)
+        assert np.all(arrays.comm_bytes >= 0)
+        # 12 calls per surviving quartet: calls are multiples of 12
+        assert np.all(arrays.comm_calls % 12 == 0)
+        # tasks with zero calls move zero bytes
+        assert np.all(arrays.comm_bytes[arrays.comm_calls == 0] == 0)
+
+    def test_chunking_changes_task_count(self, screen):
+        total = quartet_cost_matrix(screen).total_eris
+        a1 = build_nwchem_task_arrays(screen, total, 1e-6, 0.0, chunk=1)
+        a5 = build_nwchem_task_arrays(screen, total, 1e-6, 0.0, chunk=5)
+        assert a1.ntasks > a5.ntasks
+        assert a1.cost.sum() == pytest.approx(a5.cost.sum(), rel=1e-9)
+
+    def test_bucket_count_stability(self, screen):
+        """Totals are bucket-independent (normalization guarantees it) and
+        the cost distribution only sharpens with more buckets."""
+        total = quartet_cost_matrix(screen).total_eris
+        a2 = build_nwchem_task_arrays(screen, total, 1e-6, 0.0, nbuckets=2)
+        a8 = build_nwchem_task_arrays(screen, total, 1e-6, 0.0, nbuckets=8)
+        assert a2.cost.sum() == pytest.approx(a8.cost.sum(), rel=1e-9)
+        assert a2.ntasks == a8.ntasks
+
+    def test_dense_3d_system(self):
+        """A 3-D cluster (every pair significant) still enumerates fine."""
+        basis = BasisSet.build(water_cluster(2, 2, 1), "vdz-sim")
+        screen = ScreeningMap(basis, schwarz_model(basis), 1e-10)
+        total = quartet_cost_matrix(screen).total_eris
+        arrays = build_nwchem_task_arrays(screen, total, 1e-6, 0.0)
+        assert arrays.ntasks > 0
+        assert arrays.cost.sum() > 0

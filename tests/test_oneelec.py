@@ -1,0 +1,143 @@
+"""Tests for one-electron integrals: S, T, V against analytic references."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.basis.shells import Shell
+from repro.chem.builders import h2, water
+from repro.integrals.oneelec import (
+    core_hamiltonian,
+    kinetic,
+    kinetic_block,
+    nuclear_attraction,
+    nuclear_attraction_block,
+    overlap,
+    overlap_block,
+)
+
+
+def s_shell(alpha, center=(0, 0, 0)):
+    return Shell(l=0, exps=np.array([alpha]), coefs=np.array([1.0]),
+                 center=np.array(center, dtype=float), atom_index=0)
+
+
+def p_shell(alpha, center=(0, 0, 0)):
+    return Shell(l=1, exps=np.array([alpha]), coefs=np.array([1.0]),
+                 center=np.array(center, dtype=float), atom_index=0)
+
+
+class TestOverlapAnalytic:
+    def test_normalized_diagonal(self):
+        for make in (s_shell, p_shell):
+            sh = make(0.8)
+            blk = overlap_block(sh, sh)
+            assert np.allclose(np.diag(blk), 1.0, atol=1e-12)
+
+    def test_two_s_gaussians(self):
+        """<a|b> = (4ab/(a+b)^2)^(3/4) exp(-ab/(a+b) R^2) for normalized s."""
+        a, b, r = 0.7, 1.9, 1.3
+        sha, shb = s_shell(a), s_shell(b, (0, 0, r))
+        expected = (4 * a * b / (a + b) ** 2) ** 0.75 * math.exp(
+            -a * b / (a + b) * r * r
+        )
+        assert overlap_block(sha, shb)[0, 0] == pytest.approx(expected, rel=1e-12)
+
+    def test_p_orthogonal_to_s_same_center(self):
+        blk = overlap_block(s_shell(1.0), p_shell(0.6))
+        assert np.allclose(blk, 0.0, atol=1e-14)
+
+    def test_full_matrix_symmetric(self, water_basis):
+        s = overlap(water_basis)
+        assert np.allclose(s, s.T, atol=1e-14)
+        assert np.allclose(np.diag(s), 1.0, atol=1e-10)
+
+    def test_positive_definite(self, water_basis):
+        s = overlap(water_basis)
+        assert np.linalg.eigvalsh(s).min() > 0
+
+
+class TestKineticAnalytic:
+    def test_single_s_gaussian(self):
+        """<a|T|a> = 3a/2 for a normalized s Gaussian."""
+        a = 1.7
+        blk = kinetic_block(s_shell(a), s_shell(a))
+        assert blk[0, 0] == pytest.approx(1.5 * a, rel=1e-12)
+
+    def test_single_p_gaussian(self):
+        """<p|T|p> = 5a/2 for a normalized p Gaussian."""
+        a = 0.9
+        blk = kinetic_block(p_shell(a), p_shell(a))
+        assert np.allclose(np.diag(blk), 2.5 * a, atol=1e-12)
+
+    def test_symmetric(self, water_basis):
+        t = kinetic(water_basis)
+        assert np.allclose(t, t.T, atol=1e-12)
+
+    def test_positive_diagonal(self, water_basis):
+        assert np.all(np.diag(kinetic(water_basis)) > 0)
+
+
+class TestNuclearAnalytic:
+    def test_s_gaussian_at_own_nucleus(self):
+        """<a| -1/r |a> = -2 sqrt(2a/pi) for normalized s at the nucleus."""
+        a = 1.1
+        sh = s_shell(a)
+        blk = nuclear_attraction_block(
+            sh, sh, np.array([1.0]), np.zeros((1, 3))
+        )
+        expected = -2.0 * math.sqrt(2.0 * a / math.pi)
+        assert blk[0, 0] == pytest.approx(expected, rel=1e-12)
+
+    def test_far_nucleus_coulomb_limit(self):
+        """A distant nucleus sees a point charge: V ~ -Z/R."""
+        a, R = 2.0, 40.0
+        sh = s_shell(a)
+        blk = nuclear_attraction_block(
+            sh, sh, np.array([3.0]), np.array([[0.0, 0.0, R]])
+        )
+        assert blk[0, 0] == pytest.approx(-3.0 / R, rel=1e-8)
+
+    def test_negative_everywhere_diag(self, water_basis):
+        v = nuclear_attraction(water_basis)
+        assert np.all(np.diag(v) < 0)
+
+    def test_symmetric(self, water_basis):
+        v = nuclear_attraction(water_basis)
+        assert np.allclose(v, v.T, atol=1e-12)
+
+
+class TestLiteratureValues:
+    def test_h2_sto3g(self, h2_mol):
+        """Classic H2/STO-3G values at R = 1.4 a0 (Szabo & Ostlund)."""
+        basis = BasisSet.build(h2_mol, "sto-3g")
+        s = overlap(basis)
+        t = kinetic(basis)
+        assert s[0, 1] == pytest.approx(0.6593, abs=1e-3)
+        assert t[0, 0] == pytest.approx(0.7600, abs=1e-3)
+
+    def test_core_hamiltonian_is_sum(self, water_basis):
+        h = core_hamiltonian(water_basis)
+        assert np.allclose(h, kinetic(water_basis) + nuclear_attraction(water_basis))
+
+
+class TestTranslationInvariance:
+    def test_overlap_shift(self):
+        sha, shb = s_shell(0.5), p_shell(1.2, (0.4, -0.3, 0.9))
+        shift = np.array([1.0, 2.0, -0.5])
+        blk1 = overlap_block(sha, shb)
+        blk2 = overlap_block(
+            sha.at(sha.center + shift, 0), shb.at(shb.center + shift, 0)
+        )
+        assert np.allclose(blk1, blk2, atol=1e-13)
+
+    def test_kinetic_shift(self):
+        sha, shb = p_shell(0.5), p_shell(1.2, (0.4, -0.3, 0.9))
+        shift = np.array([-2.0, 0.7, 3.1])
+        blk1 = kinetic_block(sha, shb)
+        blk2 = kinetic_block(
+            sha.at(sha.center + shift, 0), shb.at(shb.center + shift, 0)
+        )
+        assert np.allclose(blk1, blk2, atol=1e-13)

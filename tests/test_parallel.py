@@ -1,0 +1,42 @@
+"""Tests for the real multiprocessing Fock build."""
+
+import numpy as np
+import pytest
+
+from repro.integrals.engine import MDEngine, SyntheticERIEngine
+from repro.parallel.mp_fock import parallel_build_jk, parallel_fock_matrix
+from repro.scf.fock import build_jk, fock_matrix
+
+
+class TestParallelJK:
+    def test_single_worker_matches_reference(self, water_engine, water_matrices):
+        _s, _h, _x, d = water_matrices
+        j_ref, k_ref = build_jk(water_engine, d, 1e-11)
+        j, k = parallel_build_jk(MDEngine(water_engine.basis), d, 1e-11, nworkers=1)
+        assert np.allclose(j, j_ref, atol=1e-11)
+        assert np.allclose(k, k_ref, atol=1e-11)
+
+    @pytest.mark.parametrize("nworkers", [2, 4])
+    def test_multi_worker_matches_reference(
+        self, water_engine, water_matrices, nworkers
+    ):
+        _s, _h, _x, d = water_matrices
+        j_ref, k_ref = build_jk(water_engine, d, 1e-11)
+        j, k = parallel_build_jk(
+            MDEngine(water_engine.basis), d, 1e-11, nworkers=nworkers
+        )
+        assert np.allclose(j, j_ref, atol=1e-11)
+        assert np.allclose(k, k_ref, atol=1e-11)
+
+    def test_fock_wrapper(self, water_engine, water_matrices, water_fock_reference):
+        _s, h, _x, d = water_matrices
+        f = parallel_fock_matrix(MDEngine(water_engine.basis), h, d, 1e-11,
+                                 nworkers=2)
+        assert np.allclose(f, water_fock_reference, atol=1e-11)
+
+    def test_synthetic_engine_parallel(self, synthetic_engine, synthetic_density):
+        eng = SyntheticERIEngine(synthetic_engine.basis)
+        j_ref, k_ref = build_jk(eng, synthetic_density, 1e-12)
+        j, k = parallel_build_jk(eng, synthetic_density, 1e-12, nworkers=3)
+        assert np.allclose(j, j_ref, atol=1e-10)
+        assert np.allclose(k, k_ref, atol=1e-10)

@@ -1,0 +1,146 @@
+"""Tests for prefetch footprints and both task decompositions."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.builders import alkane, methane
+from repro.fock.partition import StaticPartition, TaskBlock
+from repro.fock.prefetch import (
+    block_footprint,
+    footprint_bounding_boxes,
+    ga_calls_for_footprint,
+    task_footprint_elements,
+)
+from repro.fock.screening_map import ScreeningMap
+from repro.fock.symmetry import canonical_instance
+from repro.fock.tasks import (
+    atom_quartet_shell_quartets,
+    atom_sigma,
+    enumerate_task_quartets,
+    nwchem_task_list,
+)
+from repro.integrals.schwarz import schwarz_matrix, schwarz_model
+from repro.scf.fock import canonical_shell_quartets
+
+
+@pytest.fixture(scope="module")
+def screen():
+    basis = BasisSet.build(alkane(10), "vdz-sim")
+    return ScreeningMap(basis, schwarz_model(basis), 1e-10)
+
+
+class TestFootprint:
+    def test_covers_task_reads(self, screen):
+        """Every D pair a task's quartets read lies inside the footprint
+        (in at least one orientation -- D is symmetric)."""
+        m, n = 7, 19
+        fp = block_footprint(screen, TaskBlock(m, m + 1, n, n + 1))
+        union = fp.row_pairs | fp.col_pairs | np.outer(fp.phi_rows, fp.phi_cols)
+        for (mm, p, nn, q) in enumerate_task_quartets(screen, m, n):
+            for (a, b) in (
+                (mm, p), (nn, q), (p, q), (mm, nn), (mm, q), (p, nn),
+            ):
+                assert union[a, b] or union[b, a], f"pair {(a, b)} uncovered"
+
+    def test_block_smaller_than_sum_of_tasks(self, screen):
+        """The Figure-1 effect: union footprint << per-task sum."""
+        blk = TaskBlock(5, 15, 10, 20)
+        fp = block_footprint(screen, blk)
+        per_task_sum = sum(
+            task_footprint_elements(screen, m, n) for (m, n) in blk.tasks()
+        )
+        assert fp.elements < 0.25 * per_task_sum
+
+    def test_elements_counts_union(self, screen):
+        fp = block_footprint(screen, TaskBlock(0, 2, 0, 2))
+        sizes = screen.basis.shell_sizes()
+        union = fp.row_pairs | fp.col_pairs | np.outer(fp.phi_rows, fp.phi_cols)
+        manual = int((sizes[:, None] * sizes[None, :])[union].sum())
+        assert fp.elements == manual
+
+    def test_bounding_boxes_cover_regions(self, screen):
+        fp = block_footprint(screen, TaskBlock(3, 6, 8, 11))
+        boxes = footprint_bounding_boxes(fp)
+        assert 1 <= len(boxes) <= 3
+        union = fp.row_pairs | fp.col_pairs | np.outer(fp.phi_rows, fp.phi_cols)
+        covered = np.zeros_like(union)
+        for r0, r1, c0, c1 in boxes:
+            covered[r0:r1, c0:c1] = True
+        assert np.all(covered[union])
+
+    def test_ga_calls_scale_with_grid(self, screen):
+        fp = block_footprint(screen, TaskBlock(0, 4, 0, 4))
+        part1 = StaticPartition.build(screen.nshells, 1)
+        part4 = StaticPartition.build(screen.nshells, 16)
+        c1 = ga_calls_for_footprint(fp, part1.row_shell_bounds, part1.col_shell_bounds)
+        c4 = ga_calls_for_footprint(fp, part4.row_shell_bounds, part4.col_shell_bounds)
+        assert c1 <= c4
+        assert c1 >= 1
+
+
+@pytest.fixture(scope="module")
+def methane_screen():
+    basis = BasisSet.build(methane(), "sto-3g")
+    return ScreeningMap(basis, schwarz_matrix(basis), 1e-11)
+
+
+class TestTaskDecompositions:
+    def test_gtfock_tasks_cover_all_orbits_once(self, methane_screen):
+        ref = {
+            canonical_instance(m, n, p, q)
+            for (m, n, p, q) in canonical_shell_quartets(
+                methane_screen.sigma, methane_screen.tau
+            )
+        }
+        counts = Counter()
+        ns = methane_screen.nshells
+        for m in range(ns):
+            for n in range(ns):
+                for (mm, p, nn, q) in enumerate_task_quartets(methane_screen, m, n):
+                    counts[canonical_instance(mm, p, nn, q)] += 1
+        assert set(counts) == ref
+        assert all(v == 1 for v in counts.values())
+
+    def test_nwchem_tasks_cover_all_orbits_once(self, methane_screen):
+        ref = {
+            canonical_instance(m, n, p, q)
+            for (m, n, p, q) in canonical_shell_quartets(
+                methane_screen.sigma, methane_screen.tau
+            )
+        }
+        basis = methane_screen.basis
+        soa = basis.atom_shell_lists()
+        counts = Counter()
+        for t in nwchem_task_list(methane_screen):
+            for l_at in t.l_range():
+                for (m, n, p, q) in atom_quartet_shell_quartets(
+                    methane_screen, soa, t.i_at, t.j_at, t.k_at, l_at
+                ):
+                    counts[canonical_instance(m, n, p, q)] += 1
+        assert set(counts) == ref
+        assert all(v == 1 for v in counts.values())
+
+    def test_nwchem_chunking(self, methane_screen):
+        for chunk in (1, 3, 5):
+            tasks = nwchem_task_list(methane_screen, chunk=chunk)
+            for t in tasks:
+                assert t.l_hi - t.l_lo + 1 <= chunk
+
+    def test_atom_sigma_reduction(self, methane_screen):
+        a_sig = atom_sigma(methane_screen)
+        basis = methane_screen.basis
+        soa = basis.atom_shell_lists()
+        # atom value is the max of the shell-pair block
+        blk = methane_screen.sigma[np.ix_(soa[0], soa[1])]
+        assert a_sig[0, 1] == pytest.approx(float(blk.max()))
+        assert np.allclose(a_sig, a_sig.T)
+
+    def test_gtfock_screening_tightens(self, methane_screen):
+        """Stricter tau yields a subset of quartets per task."""
+        loose = set(enumerate_task_quartets(methane_screen, 1, 1))
+        tight_screen = ScreeningMap(methane_screen.basis, methane_screen.sigma, 1e-2)
+        tight = set(enumerate_task_quartets(tight_screen, 1, 1))
+        assert tight <= loose

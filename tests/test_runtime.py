@@ -1,0 +1,204 @@
+"""Tests for the simulated runtime: machine, accounting, GlobalArray, events."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.event import EventQueue
+from repro.runtime.ga import GlobalArray, SharedCounter, block_bounds, grid_shape
+from repro.runtime.machine import LONESTAR, MachineConfig
+from repro.runtime.network import CommStats
+
+
+class TestMachineConfig:
+    def test_defaults_match_table1(self):
+        assert LONESTAR.bandwidth == 5.0e9
+        assert LONESTAR.cores_per_node == 12
+
+    def test_transfer_time(self):
+        cfg = MachineConfig(bandwidth=1e9, latency=1e-6)
+        assert cfg.transfer_time(1e9, 1) == pytest.approx(1.0 + 1e-6)
+        assert cfg.transfer_time(0, 3) == pytest.approx(3e-6)
+
+    def test_with_override(self):
+        cfg = LONESTAR.with_(bandwidth=1e9)
+        assert cfg.bandwidth == 1e9
+        assert LONESTAR.bandwidth == 5e9  # original untouched
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(bandwidth=-1)
+
+
+class TestGridShape:
+    @given(st.integers(1, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_factorization(self, p):
+        r, c = grid_shape(p)
+        assert r * c == p
+        assert r <= c
+
+    def test_square_numbers(self):
+        assert grid_shape(16) == (4, 4)
+        assert grid_shape(12) == (3, 4)
+
+    def test_block_bounds(self):
+        b = block_bounds(10, 3)
+        assert b[0] == 0 and b[-1] == 10
+        assert np.all(np.diff(b) > 0)
+
+    def test_block_bounds_invalid(self):
+        with pytest.raises(ValueError):
+            block_bounds(2, 5)
+
+
+class TestCommStats:
+    def test_charge_comm_accumulates(self):
+        st_ = CommStats(2, LONESTAR)
+        st_.charge_comm(0, 1000, ncalls=2, remote=True)
+        assert st_.calls[0] == 2
+        assert st_.bytes[0] == 1000
+        assert st_.clock[0] > 0
+        assert st_.clock[1] == 0
+
+    def test_local_cheaper_than_remote(self):
+        a = CommStats(2, LONESTAR)
+        b = CommStats(2, LONESTAR)
+        a.charge_comm(0, 10_000, remote=True)
+        b.charge_comm(0, 10_000, remote=False)
+        assert b.clock[0] < a.clock[0]
+
+    def test_barrier_synchronizes(self):
+        st_ = CommStats(3, LONESTAR)
+        st_.charge_compute(1, 5.0)
+        t = st_.barrier()
+        assert t == pytest.approx(5.0)
+        assert np.all(st_.clock == 5.0)
+
+    def test_bad_process_rejected(self):
+        st_ = CommStats(2, LONESTAR)
+        with pytest.raises(IndexError):
+            st_.charge_comm(2, 10)
+
+    def test_negative_compute_rejected(self):
+        st_ = CommStats(1, LONESTAR)
+        with pytest.raises(ValueError):
+            st_.charge_compute(0, -1.0)
+
+
+class TestGlobalArray:
+    @pytest.fixture
+    def ga(self):
+        stats = CommStats(4, LONESTAR)
+        return GlobalArray(stats, 10, 10, [0, 5, 10], [0, 5, 10])
+
+    def test_owner_map(self, ga):
+        assert ga.owner(0, 0) == 0
+        assert ga.owner(0, 7) == 1
+        assert ga.owner(7, 0) == 2
+        assert ga.owner(9, 9) == 3
+
+    def test_local_slice_partition(self, ga):
+        seen = np.zeros((10, 10), dtype=int)
+        for p in range(4):
+            rs, cs = ga.local_slice(p)
+            seen[rs, cs] += 1
+        assert np.all(seen == 1)
+
+    def test_get_put_roundtrip(self, ga):
+        block = np.arange(6, dtype=float).reshape(2, 3)
+        ga.put(0, 4, 3, block)
+        out = ga.get(1, 4, 6, 3, 6)
+        assert np.allclose(out, block)
+
+    def test_acc_accumulates(self, ga):
+        ga.acc(0, 2, 2, np.ones((2, 2)))
+        ga.acc(3, 2, 2, np.ones((2, 2)))
+        assert np.allclose(ga.get(0, 2, 4, 2, 4), 2.0)
+
+    def test_calls_split_per_owner(self, ga):
+        stats = ga.stats
+        before = int(stats.calls[0])
+        ga.get(0, 3, 8, 3, 8)  # spans all 4 owner blocks
+        assert stats.calls[0] - before == 4
+
+    def test_local_access_not_remote(self, ga):
+        stats = ga.stats
+        ga.get(0, 0, 2, 0, 2)  # proc 0 owns this
+        assert stats.remote_calls[0] == 0
+        assert stats.calls[0] == 1
+
+    def test_out_of_range_rejected(self, ga):
+        with pytest.raises(IndexError):
+            ga.get(0, 0, 11, 0, 5)
+
+    def test_load_to_numpy(self, ga):
+        m = np.arange(100, dtype=float).reshape(10, 10)
+        ga.load(m)
+        assert np.allclose(ga.to_numpy(), m)
+
+    def test_bad_bounds_rejected(self):
+        stats = CommStats(1, LONESTAR)
+        with pytest.raises(ValueError):
+            GlobalArray(stats, 10, 10, [0, 10], [0, 5])
+
+
+class TestSharedCounter:
+    def test_monotone_values(self):
+        stats = CommStats(3, LONESTAR)
+        c = SharedCounter(stats)
+        vals = [c.read_inc(p % 3) for p in range(9)]
+        assert vals == list(range(9))
+
+    def test_serialization_delays(self):
+        """Simultaneous requests queue behind each other at the server."""
+        stats = CommStats(4, LONESTAR)
+        c = SharedCounter(stats)
+        for p in range(4):
+            c.read_inc(p)
+        finish = np.sort(stats.clock)
+        gaps = np.diff(finish)
+        assert np.all(gaps >= stats.config.queue_service * 0.99)
+
+    def test_access_count(self):
+        stats = CommStats(1, LONESTAR)
+        c = SharedCounter(stats)
+        for _ in range(5):
+            c.read_inc(0)
+        assert c.accesses == 5
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.schedule(3.0, "a")
+        q.schedule(1.0, "b")
+        q.schedule(2.0, "c")
+        assert [q.pop()[1] for _ in range(3)] == ["b", "c", "a"]
+        assert q.pop() is None
+
+    def test_reschedule_invalidates(self):
+        q = EventQueue()
+        q.schedule(1.0, "a")
+        q.schedule(5.0, "a")  # supersedes
+        t, k = q.pop()
+        assert (t, k) == (5.0, "a")
+        assert q.pop() is None
+
+    def test_cancel(self):
+        q = EventQueue()
+        q.schedule(1.0, "x")
+        q.cancel("x")
+        assert q.pop() is None
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, "x")
+
+    def test_stable_tiebreak(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert q.pop()[1] == "first"
+        assert q.pop()[1] == "second"

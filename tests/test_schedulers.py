@@ -1,0 +1,149 @@
+"""Tests for the work-stealing and centralized scheduler simulations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fock.centralized import run_centralized
+from repro.fock.stealing import run_work_stealing, victim_scan_order
+from repro.runtime.machine import LONESTAR
+from repro.runtime.network import CommStats
+
+
+class TestVictimScanOrder:
+    def test_excludes_self(self):
+        order = victim_scan_order(3, 2, 3)
+        assert 3 not in order
+        assert sorted(order) == [0, 1, 2, 4, 5]
+
+    def test_own_row_first(self):
+        # proc 4 in a 2x3 grid is at (1, 1); row 1 = procs 3,4,5
+        order = victim_scan_order(4, 2, 3)
+        assert set(order[:2]) == {5, 3}
+
+
+class TestWorkStealingConservation:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_every_task_executed_once(self, seed):
+        rng = np.random.default_rng(seed)
+        nproc = int(rng.integers(1, 9))
+        prow, pcol = 1, nproc
+        queues = [
+            [(p, i) for i in range(int(rng.integers(0, 12)))] for p in range(nproc)
+        ]
+        executed = []
+        out = run_work_stealing(
+            queues,
+            cost_of=lambda t: float(rng.uniform(0.1, 2.0)),
+            grid=(prow, pcol),
+            on_task=lambda p, t: executed.append(t),
+        )
+        all_tasks = [t for q in queues for t in q]
+        assert sorted(executed) == sorted(all_tasks)
+        assert out.executed_tasks.sum() == len(all_tasks)
+
+    def test_stealing_rebalances_skewed_load(self):
+        """One loaded process + idle thieves: near-perfect balance."""
+        nproc = 4
+        queues = [[i for i in range(400)]] + [[] for _ in range(nproc - 1)]
+        with_steal = run_work_stealing(
+            queues, lambda t: 1.0, (1, nproc), enable_stealing=True
+        )
+        without = run_work_stealing(
+            [list(q) for q in queues], lambda t: 1.0, (1, nproc),
+            enable_stealing=False,
+        )
+        assert with_steal.makespan < 0.5 * without.makespan
+        assert without.makespan == pytest.approx(400.0)
+        assert with_steal.steals
+
+    def test_balanced_load_no_steals_needed(self):
+        queues = [[0] * 10 for _ in range(4)]
+        out = run_work_stealing(queues, lambda t: 1.0, (2, 2))
+        assert out.makespan == pytest.approx(10.0)
+        assert out.load_balance_ratio() == pytest.approx(1.0)
+
+    def test_steal_cost_charged(self):
+        charged = []
+
+        def steal_cost(thief, victim):
+            charged.append((thief, victim))
+            return 0.5
+
+        queues = [[i for i in range(100)], []]
+        out = run_work_stealing(
+            queues, lambda t: 1.0, (1, 2), steal_cost=steal_cost
+        )
+        assert charged
+        assert out.steals
+
+    def test_in_flight_task_not_stolen(self):
+        """A victim mid-task keeps that task."""
+        executed_by = {}
+        queues = [[("v", 0), ("v", 1)], []]
+        # task 0 runs [0, 10); thief arrives at t=0 -> may only steal task 1
+        out = run_work_stealing(
+            queues,
+            lambda t: 10.0,
+            (1, 2),
+            on_task=lambda p, t: executed_by.setdefault(t, p),
+        )
+        assert executed_by[("v", 0)] == 0
+        assert executed_by[("v", 1)] == 1
+        assert out.makespan == pytest.approx(10.0)
+
+    def test_start_clock_offsets_respected(self):
+        stats = CommStats(2, LONESTAR)
+        stats.clock[1] = 100.0
+        out = run_work_stealing(
+            [[0], [1]], lambda t: 1.0, (1, 2), stats=stats,
+            enable_stealing=False,
+        )
+        assert out.finish_time[0] == pytest.approx(1.0)
+        assert out.finish_time[1] == pytest.approx(101.0)
+
+    def test_grid_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_work_stealing([[1]], lambda t: 1.0, (2, 2))
+
+
+class TestCentralized:
+    def test_all_tasks_executed_once(self):
+        stats = CommStats(3, LONESTAR)
+        seen = []
+        out = run_centralized(
+            list(range(50)), 3, stats, lambda t: 0.01,
+            on_task=lambda p, t: seen.append(t),
+        )
+        assert sorted(seen) == list(range(50))
+        assert out.executed_tasks.sum() == 50
+        assert out.counter_accesses == 50 + 3  # one failed pull per process
+
+    def test_single_process(self):
+        stats = CommStats(1, LONESTAR)
+        out = run_centralized(list(range(10)), 1, stats, lambda t: 1.0)
+        assert out.executed_cost[0] == pytest.approx(10.0)
+
+    def test_load_spread_roughly_even(self):
+        stats = CommStats(4, LONESTAR)
+        out = run_centralized(list(range(400)), 4, stats, lambda t: 0.001)
+        assert out.executed_tasks.min() >= 80
+
+    def test_comm_hook_called_per_task(self):
+        stats = CommStats(2, LONESTAR)
+        hits = []
+        run_centralized(
+            list(range(7)), 2, stats, lambda t: 0.0,
+            comm_of=lambda p, t: hits.append(t),
+        )
+        assert sorted(hits) == list(range(7))
+
+    def test_counter_serialization_dominates_tiny_tasks(self):
+        """With zero-cost tasks, the makespan is the serialized counter."""
+        stats = CommStats(8, LONESTAR)
+        ntasks = 200
+        out = run_centralized(list(range(ntasks)), 8, stats, lambda t: 0.0)
+        min_serial = ntasks * LONESTAR.queue_service
+        assert out.makespan >= min_serial * 0.9

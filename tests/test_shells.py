@@ -1,0 +1,134 @@
+"""Tests for Gaussian shells and normalization."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.basis.shells import (
+    Shell,
+    cartesian_components,
+    component_scale,
+    double_factorial,
+    ncart,
+    normalize_contraction,
+    nsph,
+    primitive_norm,
+)
+
+
+class TestCounts:
+    @pytest.mark.parametrize("l,nc,ns", [(0, 1, 1), (1, 3, 3), (2, 6, 5), (3, 10, 7)])
+    def test_ncart_nsph(self, l, nc, ns):
+        assert ncart(l) == nc
+        assert nsph(l) == ns
+
+    def test_components_sum_to_l(self):
+        for l in range(5):
+            for c in cartesian_components(l):
+                assert sum(c) == l
+        assert len(cartesian_components(4)) == ncart(4)
+
+    def test_component_order_p(self):
+        assert cartesian_components(1) == [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+
+    def test_component_order_d(self):
+        assert cartesian_components(2)[0] == (2, 0, 0)
+        assert cartesian_components(2)[-1] == (0, 0, 2)
+
+
+class TestDoubleFactorial:
+    def test_values(self):
+        assert double_factorial(-1) == 1
+        assert double_factorial(0) == 1
+        assert double_factorial(5) == 15
+        assert double_factorial(6) == 48
+        assert double_factorial(7) == 105
+
+
+class TestPrimitiveNorm:
+    @given(st.floats(0.05, 50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_s_normalization_integral(self, alpha):
+        """N^2 * integral of exp(-2 a r^2) over R^3 == 1."""
+        n = primitive_norm(alpha, 0, 0, 0)
+        integral = (math.pi / (2 * alpha)) ** 1.5
+        assert abs(n * n * integral - 1.0) < 1e-12
+
+    def test_p_vs_s_ratio(self):
+        a = 1.3
+        # int x^2 exp(-2a r^2) = (1/(4a)) * int exp(-2a r^2)
+        ratio = primitive_norm(a, 1, 0, 0) / primitive_norm(a, 0, 0, 0)
+        assert abs(ratio - math.sqrt(4 * a)) < 1e-12
+
+    def test_component_scale_d(self):
+        # xx vs xy: N_xy / N_xx = sqrt(3)
+        assert abs(
+            component_scale(1, 1, 0) / component_scale(2, 0, 0) - math.sqrt(3.0)
+        ) < 1e-12
+
+
+class TestContractionNormalization:
+    @given(
+        st.integers(0, 2),
+        st.lists(st.floats(0.1, 20.0), min_size=1, max_size=4, unique=True),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_self_overlap_is_one(self, l, exps):
+        exps = np.array(exps)
+        coefs = np.ones_like(exps)
+        c = normalize_contraction(l, exps, coefs)
+        # recompute self overlap with normalized coefficients
+        asum = exps[:, None] + exps[None, :]
+        pair = (
+            double_factorial(2 * l - 1)
+            * math.pi**1.5
+            / (2.0**l * asum ** (l + 1.5))
+        )
+        assert abs(c @ pair @ c - 1.0) < 1e-10
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            normalize_contraction(0, np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_negative_exponent_raises(self):
+        with pytest.raises(ValueError):
+            normalize_contraction(0, np.array([-1.0]), np.array([1.0]))
+
+
+class TestShell:
+    def test_nbf_cartesian_vs_pure(self):
+        kw = dict(exps=np.array([1.0]), coefs=np.array([1.0]), center=np.zeros(3), atom_index=0)
+        assert Shell(l=2, pure=False, **kw).nbf == 6
+        assert Shell(l=2, pure=True, **kw).nbf == 5
+
+    def test_pure_f_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            Shell(
+                l=3,
+                exps=np.array([1.0]),
+                coefs=np.array([1.0]),
+                center=np.zeros(3),
+                atom_index=0,
+                pure=True,
+            )
+
+    def test_negative_l_raises(self):
+        with pytest.raises(ValueError):
+            Shell(l=-1, exps=np.array([1.0]), coefs=np.array([1.0]),
+                  center=np.zeros(3), atom_index=0)
+
+    def test_at_relocates(self):
+        sh = Shell(l=1, exps=np.array([0.5]), coefs=np.array([1.0]),
+                   center=np.zeros(3), atom_index=0)
+        sh2 = sh.at(np.ones(3), 5)
+        assert sh2.atom_index == 5
+        assert np.allclose(sh2.center, 1.0)
+        assert np.allclose(sh2.norm_coefs, sh.norm_coefs)
+
+    def test_letter(self):
+        sh = Shell(l=2, exps=np.array([1.0]), coefs=np.array([1.0]),
+                   center=np.zeros(3), atom_index=0)
+        assert sh.letter == "d"

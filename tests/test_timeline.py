@@ -1,0 +1,58 @@
+"""Tests for execution-timeline recording."""
+
+import numpy as np
+import pytest
+
+from repro.fock.timeline import Span, Timeline, traced_work_stealing
+
+
+class TestTimeline:
+    def test_spans_recorded_for_all_tasks(self):
+        queues = [[1.0, 2.0], [0.5], []]
+        outcome, tl = traced_work_stealing(
+            queues, cost_of=lambda c: c, grid=(1, 3)
+        )
+        work = [s for s in tl.spans if s.kind == "work"]
+        assert len(work) == 3
+        assert outcome.executed_tasks.sum() == 3
+
+    def test_steal_events_marked(self):
+        queues = [[1.0] * 50, []]
+        _outcome, tl = traced_work_stealing(
+            queues, cost_of=lambda c: c, grid=(1, 2)
+        )
+        assert any(s.kind == "steal" for s in tl.spans)
+
+    def test_busy_fraction_balanced(self):
+        queues = [[1.0] * 10, [1.0] * 10]
+        _outcome, tl = traced_work_stealing(
+            queues, cost_of=lambda c: c, grid=(1, 2)
+        )
+        assert tl.busy_fraction(0) == pytest.approx(1.0, abs=0.01)
+        assert tl.busy_fraction(1) == pytest.approx(1.0, abs=0.01)
+
+    def test_render_shapes(self):
+        queues = [[1.0, 1.0], [2.0]]
+        _outcome, tl = traced_work_stealing(
+            queues, cost_of=lambda c: c, grid=(1, 2)
+        )
+        art = tl.render(width=40)
+        lines = art.splitlines()
+        assert len(lines) == 3  # 2 procs + axis
+        assert "#" in lines[0]
+
+    def test_empty(self):
+        assert Timeline().render() == "(empty timeline)"
+        assert Timeline().makespan == 0.0
+
+    def test_span_duration(self):
+        s = Span(0, 1.0, 3.5, "work")
+        assert s.duration == pytest.approx(2.5)
+
+    def test_makespan_matches_outcome(self):
+        queues = [[3.0, 1.0], [0.5, 0.5]]
+        outcome, tl = traced_work_stealing(
+            queues, cost_of=lambda c: c, grid=(1, 2)
+        )
+        # replayed busy time cannot exceed the simulated makespan
+        assert tl.makespan <= outcome.makespan + 1e-9
