@@ -8,7 +8,6 @@ tables inline); the reports are also appended to
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest

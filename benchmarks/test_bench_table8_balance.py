@@ -1,12 +1,38 @@
 """Table VIII: work-stealing load balance ratio l = T_max / T_avg."""
 
-from repro.bench.experiments import table8_load_balance
+import pytest
+
+from repro.bench.experiments import run_cell, table8_load_balance
+from repro.bench.harness import CORE_COUNTS, all_setups
 
 
 def test_bench_table8(benchmark, emit):
     report = benchmark.pedantic(table8_load_balance, rounds=1, iterations=1)
     emit(report)
     for mol, balances in report.data.items():
-        for cores, l in balances.items():
+        for cores, bal in balances.items():
             # paper Table VIII: l stays near 1 (well balanced) everywhere
-            assert 1.0 <= l < 1.5, (mol, cores, l)
+            assert 1.0 <= bal < 1.5, (mol, cores, bal)
+
+
+def test_commstats_summary_surfaces_balance(emit):
+    """The Table VIII metric is also reported by CommStats.summary().
+
+    ``FockSimResult.load_balance`` (from scheduler finish times) and the
+    runtime accounting layer's own ``load_balance`` (max/mean virtual
+    clock) must agree -- they are two views of the same clocks.
+    """
+    setup = all_setups()[0]
+    lines = [f"CommStats load balance, {setup.name}:"]
+    for cores in CORE_COUNTS[:3]:
+        r = run_cell(setup, "gtfock", cores)
+        summary = r.comm_summary
+        assert "load_balance" in summary
+        assert "comm_fraction" in summary
+        assert summary["load_balance"] == pytest.approx(r.load_balance)
+        assert 1.0 <= summary["load_balance"] < 1.5
+        lines.append(
+            f"  {cores:5d} cores: l={summary['load_balance']:.4f} "
+            f"comm_fraction={summary['comm_fraction']:.4f}"
+        )
+    emit("\n".join(lines))

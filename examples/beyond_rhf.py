@@ -14,7 +14,6 @@ them; this demo exercises the library's upper floors on H2:
 Usage:  python examples/beyond_rhf.py
 """
 
-import numpy as np
 
 from repro.chem import h2
 from repro.chem.basis.basisset import BasisSet

@@ -14,6 +14,8 @@ Layers (bottom to top):
 * :mod:`repro.dist` -- SUMMA and distributed purification;
 * :mod:`repro.model` -- the Sec III-G performance model;
 * :mod:`repro.parallel` -- real multiprocessing execution;
+* :mod:`repro.obs` -- tracing (Perfetto export) and metrics across all
+  of the above;
 * :mod:`repro.bench` -- experiment drivers for every table and figure.
 
 Quickstart::
@@ -23,11 +25,11 @@ Quickstart::
     print(RHF(water()).run().energy)
 """
 
-__version__ = "1.0.0"
-
 from repro.chem import BasisSet, Molecule, alkane, graphene_flake, water
 from repro.fock import gtfock_build, nwchem_build, simulate_gtfock, simulate_nwchem
 from repro.scf import RHF
+
+__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

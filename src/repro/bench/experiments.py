@@ -17,7 +17,6 @@ from repro.bench.harness import (
     MoleculeSetup,
     all_setups,
     format_table,
-    geometric_speedups,
 )
 from repro.bench.paper_data import FIGURE1, MEASURED_CONSTANTS, TABLE2_MOLECULES
 from repro.fock.partition import TaskBlock
@@ -25,7 +24,6 @@ from repro.fock.prefetch import block_footprint
 from repro.fock.simulate import FockSimResult, simulate_gtfock, simulate_nwchem
 from repro.integrals.schwarz import unique_significant_quartet_count
 from repro.model.perfmodel import PerfModel
-from repro.runtime.machine import LONESTAR
 
 
 @dataclass

@@ -16,7 +16,6 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
 from repro.chem.builders import alkane, graphene_flake
@@ -25,6 +24,7 @@ from repro.fock.cost import TaskCosts, quartet_cost_matrix
 from repro.fock.reorder import reorder_basis
 from repro.fock.screening_map import ScreeningMap
 from repro.integrals.schwarz import schwarz_model
+from repro.obs import get_tracer
 from repro.runtime.machine import LONESTAR, MachineConfig
 
 #: The paper's screening tolerance (Sec IV-A).
@@ -83,7 +83,7 @@ def _alkane_like(mol: Molecule) -> bool:
     return nh == 2 * nc + 2
 
 
-_SETUP_CACHE: dict[tuple[str, str, float, bool], MoleculeSetup] = {}
+_SETUP_CACHE: dict[tuple[str, str, str, float, bool], MoleculeSetup] = {}
 
 
 def molecule_setup(
@@ -93,16 +93,30 @@ def molecule_setup(
     tau: float = PAPER_TAU,
     reorder: bool = True,
 ) -> MoleculeSetup:
-    """Build (and cache) screening + cost state for a molecule."""
-    key = (molecule.formula, basis_name, tau, reorder)
+    """Build (and cache) screening + cost state for a molecule.
+
+    The cache key includes the geometry hash, not just the formula:
+    two geometry-distinct molecules with the same formula (conformers,
+    scaled stand-ins) must not share screening/cost state.
+    """
+    key = (molecule.formula, molecule.geometry_hash(), basis_name, tau, reorder)
     cached = _SETUP_CACHE.get(key)
     if cached is not None:
         return cached
-    basis = BasisSet.build(molecule, basis_name)
-    if reorder:
-        basis = reorder_basis(basis)
-    screen = ScreeningMap(basis, schwarz_model(basis), tau)
-    costs = quartet_cost_matrix(screen)
+    tracer = get_tracer()
+    with tracer.span(
+        "molecule_setup", cat="bench", molecule=name or molecule.formula,
+        basis=basis_name,
+    ):
+        with tracer.span("basis_build", cat="bench"):
+            basis = BasisSet.build(molecule, basis_name)
+        if reorder:
+            with tracer.span("reorder", cat="bench"):
+                basis = reorder_basis(basis)
+        with tracer.span("screening", cat="bench"):
+            screen = ScreeningMap(basis, schwarz_model(basis), tau)
+        with tracer.span("cost_matrix", cat="bench"):
+            costs = quartet_cost_matrix(screen)
     # NWChem's primitive prescreening advantage is larger for alkanes
     # (Table V discussion); reflect it in the per-molecule machine config.
     t_ratio = 0.85 if _alkane_like(molecule) else 0.92

@@ -8,6 +8,7 @@ the way in/out.
 
 from __future__ import annotations
 
+import hashlib
 import io
 from dataclasses import dataclass, field
 
@@ -144,6 +145,18 @@ class Molecule:
             n = counts[s]
             parts.append(s + (str(n) if n > 1 else ""))
         return "".join(parts)
+
+    def geometry_hash(self) -> str:
+        """Digest of symbols + exact coordinates + charge.
+
+        Distinguishes geometry-distinct conformers that share a formula
+        (the formula alone is *not* an identity -- see the benchmark
+        harness's setup cache).
+        """
+        h = hashlib.sha256(str(self.charge).encode())
+        h.update(" ".join(self.symbols).encode())
+        h.update(np.ascontiguousarray(self.coords, dtype=np.float64).tobytes())
+        return h.hexdigest()[:16]
 
     # -- energies / geometry -------------------------------------------------
 

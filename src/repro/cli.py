@@ -8,6 +8,11 @@ model                           Sec III-G performance-model analysis
 ablation {reorder,steal,grain}  design-choice ablations
 list                            list built-in molecules and bases
 
+Every command accepts ``--trace PATH`` (Chrome trace-event JSON --
+open it at https://ui.perfetto.dev -- or raw span records with a
+``.jsonl`` extension) and ``--metrics PATH`` (JSON, or Prometheus text
+exposition with a ``.prom`` extension).  See ``docs/OBSERVABILITY.md``.
+
 Set ``REPRO_FULL=1`` to run evaluation commands at the paper's exact
 molecule sizes.
 """
@@ -15,6 +20,7 @@ molecule sizes.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.chem.basis.basisset import BASIS_REGISTRY, BasisSet
@@ -108,11 +114,34 @@ def _run_list() -> int:
     return 0
 
 
+def _obs_flags() -> argparse.ArgumentParser:
+    """Shared ``--trace`` / ``--metrics`` flags for every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a trace: Chrome trace-event JSON (Perfetto-loadable),"
+        " or raw span records if PATH ends in .jsonl",
+    )
+    parent.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write collected metrics: JSON, or Prometheus text"
+        " exposition if PATH ends in .prom",
+    )
+    return parent
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+    obs_flags = _obs_flags()
 
-    p_scf = sub.add_parser("scf", help="run RHF on a built-in molecule")
+    p_scf = sub.add_parser(
+        "scf", help="run RHF on a built-in molecule", parents=[obs_flags]
+    )
     p_scf.add_argument("molecule")
     p_scf.add_argument("--basis", default="sto-3g")
 
@@ -120,22 +149,54 @@ def main(argv: list[str] | None = None) -> int:
         "table2", "table3", "table4", "table5", "table6", "table7",
         "table8", "table9", "fig1", "fig2", "model",
     ):
-        sub.add_parser(name, help=f"regenerate {name}")
+        sub.add_parser(name, help=f"regenerate {name}", parents=[obs_flags])
 
-    p_abl = sub.add_parser("ablation", help="design-choice ablations")
+    p_abl = sub.add_parser(
+        "ablation", help="design-choice ablations", parents=[obs_flags]
+    )
     p_abl.add_argument("kind", choices=["reorder", "steal", "grain"])
     p_abl.add_argument("--molecule", default="C24H12")
 
-    sub.add_parser("list", help="list built-in molecules and bases")
+    sub.add_parser(
+        "list", help="list built-in molecules and bases", parents=[obs_flags]
+    )
 
     args = parser.parse_args(argv)
-    if args.command == "scf":
-        return _run_scf(args)
-    if args.command == "ablation":
-        return _run_ablation(args)
-    if args.command == "list":
-        return _run_list()
-    return _run_experiment(args.command)
+
+    # fail fast on unwritable output paths -- a long run must not end
+    # in a traceback with its trace/metrics lost
+    for path in (args.trace, args.metrics):
+        if path:
+            parent = os.path.dirname(path) or "."
+            if not os.path.isdir(parent):
+                parser.error(f"cannot write {path}: directory {parent!r} does not exist")
+            if not os.access(parent, os.W_OK):
+                parser.error(f"cannot write {path}: directory {parent!r} is not writable")
+
+    from repro.obs import MetricsRegistry, Tracer, set_metrics, set_tracer
+
+    tracer = Tracer("repro") if args.trace else None
+    prev_tracer = set_tracer(tracer) if tracer is not None else None
+    prev_metrics = set_metrics(MetricsRegistry()) if args.metrics else None
+    try:
+        if args.command == "scf":
+            return _run_scf(args)
+        if args.command == "ablation":
+            return _run_ablation(args)
+        if args.command == "list":
+            return _run_list()
+        return _run_experiment(args.command)
+    finally:
+        if tracer is not None:
+            set_tracer(prev_tracer)
+            tracer.write(args.trace)
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        if prev_metrics is not None:
+            from repro.obs import get_metrics
+
+            get_metrics().write(args.metrics)
+            set_metrics(prev_metrics)
+            print(f"metrics written to {args.metrics}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -41,7 +41,12 @@ from repro.fock.symmetry import (
     symmetry_check,
     task_computes,
 )
-from repro.fock.timeline import Span, Timeline, traced_work_stealing
+from repro.fock.timeline import (
+    Span,
+    Timeline,
+    timeline_from_tracer,
+    traced_work_stealing,
+)
 from repro.fock.tasks import (
     NWChemTask,
     atom_quartet_shell_quartets,
@@ -89,6 +94,7 @@ __all__ = [
     "task_computes",
     "Span",
     "Timeline",
+    "timeline_from_tracer",
     "traced_work_stealing",
     "NWChemTask",
     "atom_quartet_shell_quartets",

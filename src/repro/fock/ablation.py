@@ -157,7 +157,6 @@ def granularity_ablation(
     costs = quartet_cost_matrix(screen)
     nproc = max(1, cores // config.cores_per_node)
     part = StaticPartition.build(basis.nshells, nproc)
-    ns = basis.nshells
     t_task = config.t_int_gtfock / config.cores_per_node
     eris = costs.eris
     rows = []

@@ -12,6 +12,13 @@ against the sequential reference:
    local J/K buffers (thieves receive the victim's D buffer on steal);
 4. one final accumulate of each process's local contribution into the
    distributed result, then ``F = Hcore + 2J - K``.
+
+Every phase is observable through :mod:`repro.obs`: the host build is a
+nested wall-clock span tree (setup / prefetch / schedule / flush, with
+one ``task(m,n)`` span per executed shell-pair task), while the
+simulated ranks get virtual-clock spans -- ``prefetch`` and ``flush``
+bracketed by the :class:`CommStats` clocks, plus the scheduler's own
+per-task/steal events -- one Perfetto row per rank.
 """
 
 from __future__ import annotations
@@ -20,7 +27,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.chem.basis.basisset import BasisSet
 from repro.fock.cost import TaskCosts, quartet_cost_matrix
 from repro.fock.partition import StaticPartition
 from repro.fock.prefetch import block_footprint, footprint_bounding_boxes
@@ -28,6 +34,7 @@ from repro.fock.screening_map import ScreeningMap
 from repro.fock.stealing import StealingOutcome, run_work_stealing
 from repro.fock.tasks import enumerate_task_quartets
 from repro.integrals.engine import ERIEngine
+from repro.obs import Tracer, get_tracer
 from repro.runtime.ga import GlobalArray
 from repro.runtime.machine import LONESTAR, MachineConfig
 from repro.runtime.network import CommStats
@@ -92,6 +99,7 @@ def gtfock_build(
     config: MachineConfig = LONESTAR,
     enable_stealing: bool = True,
     screen: ScreeningMap | None = None,
+    tracer: Tracer | None = None,
 ) -> GTFockBuildResult:
     """Numeric GTFock Fock-matrix construction on ``nproc`` simulated processes.
 
@@ -99,92 +107,120 @@ def gtfock_build(
     :func:`repro.fock.reorder.reorder_basis` beforehand (and pass matching
     ``hcore``/``density``) to include the Sec III-D reordering.
     """
+    if tracer is None:
+        tracer = get_tracer()
     basis = engine.basis
     nbf = basis.nbf
     if hcore.shape != (nbf, nbf) or density.shape != (nbf, nbf):
         raise ValueError("hcore/density shape does not match the basis")
-    if screen is None:
-        screen = ScreeningMap(basis, engine.schwarz(), tau)
-    part = StaticPartition.build(basis.nshells, nproc)
-    rb, cb = part.matrix_bounds(basis)
-    stats = CommStats(nproc, config)
-    ga_d = GlobalArray(stats, nbf, nbf, rb, cb)
-    ga_d.load(density)
-    ga_g = GlobalArray(stats, nbf, nbf, rb, cb)
+    with tracer.span("gtfock_build", cat="fock", nproc=nproc, nbf=nbf) as top:
+        with tracer.span("setup", cat="fock"):
+            if screen is None:
+                screen = ScreeningMap(basis, engine.schwarz(), tau)
+            part = StaticPartition.build(basis.nshells, nproc)
+            rb, cb = part.matrix_bounds(basis)
+            stats = CommStats(nproc, config)
+            ga_d = GlobalArray(stats, nbf, nbf, rb, cb)
+            ga_d.load(density)
+            ga_g = GlobalArray(stats, nbf, nbf, rb, cb)
+            costs = quartet_cost_matrix(screen)
+            offsets = basis.offsets
+            bufs = [_ProcessBuffers(nbf) for _ in range(nproc)]
+            slices = [basis.shell_slice(s) for s in range(basis.nshells)]
 
-    costs = quartet_cost_matrix(screen)
-    offsets = basis.offsets
-    bufs = [_ProcessBuffers(nbf) for _ in range(nproc)]
-    slices = [basis.shell_slice(s) for s in range(basis.nshells)]
+        # -- prefetch phase (Algorithm 4, line 3) ----------------------------
+        with tracer.span("prefetch", cat="fock"):
+            for p in range(nproc):
+                clock0 = float(stats.clock[p])
+                fp = block_footprint(screen, part.task_block(p))
+                boxes = footprint_bounding_boxes(fp)
+                for r0, r1, c0, c1 in boxes:
+                    fr0, fr1 = int(offsets[r0]), int(offsets[r1])
+                    fc0, fc1 = int(offsets[c0]), int(offsets[c1])
+                    bufs[p].d_local[fr0:fr1, fc0:fc1] = ga_d.get(
+                        p, fr0, fr1, fc0, fc1
+                    )
+                    bufs[p].have[fr0:fr1, fc0:fc1] = True
+                tracer.virtual_span(
+                    "prefetch", p, clock0, float(stats.clock[p]), cat="comm",
+                    boxes=len(boxes), elements=int(fp.elements),
+                )
 
-    # -- prefetch phase (Algorithm 4, line 3) --------------------------------
-    for p in range(nproc):
-        fp = block_footprint(screen, part.task_block(p))
-        for r0, r1, c0, c1 in footprint_bounding_boxes(fp):
-            fr0, fr1 = int(offsets[r0]), int(offsets[r1])
-            fc0, fc1 = int(offsets[c0]), int(offsets[c1])
-            bufs[p].d_local[fr0:fr1, fc0:fc1] = ga_d.get(p, fr0, fr1, fc0, fc1)
-            bufs[p].have[fr0:fr1, fc0:fc1] = True
+        # -- task execution through the work-stealing scheduler --------------
+        t_task = config.t_int_gtfock / config.cores_per_node
 
-    # -- task execution through the work-stealing scheduler ------------------
-    t_task = config.t_int_gtfock / config.cores_per_node
+        def cost_of(task: tuple[int, int]) -> float:
+            m, n = task
+            return float(costs.eris[m, n]) * t_task + config.task_overhead
 
-    def cost_of(task: tuple[int, int]) -> float:
-        m, n = task
-        return float(costs.eris[m, n]) * t_task + config.task_overhead
+        def on_task(proc: int, task: tuple[int, int]) -> None:
+            m, n = task
+            with tracer.span(f"task({m},{n})", cat="task", proc=proc) as sp:
+                buf = bufs[proc]
+                nq = 0
+                for (mm, pp, nn, qq) in enumerate_task_quartets(screen, m, n):
+                    block = engine.quartet(mm, pp, nn, qq)
+                    nq += 1
+                    for (a, b, c, d), blk in orbit_images(
+                        (mm, pp, nn, qq), block
+                    ):
+                        sa, sb, sc, sd = (
+                            slices[a], slices[b], slices[c], slices[d]
+                        )
+                        dcd = buf.read_d(sc, sd)
+                        dbd = buf.read_d(sb, sd)
+                        buf.j[sa, sb] += np.einsum("abcd,cd->ab", blk, dcd)
+                        buf.k[sa, sc] += np.einsum("abcd,bd->ac", blk, dbd)
+                sp["quartets"] = nq
 
-    def on_task(proc: int, task: tuple[int, int]) -> None:
-        m, n = task
-        buf = bufs[proc]
-        for (mm, pp, nn, qq) in enumerate_task_quartets(screen, m, n):
-            block = engine.quartet(mm, pp, nn, qq)
-            for (a, b, c, d), blk in orbit_images((mm, pp, nn, qq), block):
-                sa, sb, sc, sd = slices[a], slices[b], slices[c], slices[d]
-                dcd = buf.read_d(sc, sd)
-                dbd = buf.read_d(sb, sd)
-                buf.j[sa, sb] += np.einsum("abcd,cd->ab", blk, dcd)
-                buf.k[sa, sc] += np.einsum("abcd,bd->ac", blk, dbd)
+        def on_steal(thief: int, victim: int) -> None:
+            bufs[thief].merge_from(bufs[victim])
 
-    def on_steal(thief: int, victim: int) -> None:
-        bufs[thief].merge_from(bufs[victim])
+        seen_victims: set[tuple[int, int]] = set()
 
-    seen_victims: set[tuple[int, int]] = set()
+        def steal_cost(thief: int, victim: int) -> float:
+            # copy the victim's D buffer (Sec III-F), once per new victim
+            if (thief, victim) in seen_victims:
+                return 0.0
+            seen_victims.add((thief, victim))
+            nbytes = int(bufs[victim].have.sum()) * config.element_size
+            stats.calls[thief] += 1
+            stats.bytes[thief] += nbytes
+            stats.remote_calls[thief] += 1
+            stats.remote_bytes[thief] += nbytes
+            return config.transfer_time(nbytes, 1)
 
-    def steal_cost(thief: int, victim: int) -> float:
-        # copy the victim's D buffer (Sec III-F), once per new victim
-        if (thief, victim) in seen_victims:
-            return 0.0
-        seen_victims.add((thief, victim))
-        nbytes = int(bufs[victim].have.sum()) * config.element_size
-        stats.calls[thief] += 1
-        stats.bytes[thief] += nbytes
-        stats.remote_calls[thief] += 1
-        stats.remote_bytes[thief] += nbytes
-        return config.transfer_time(nbytes, 1)
+        with tracer.span("schedule", cat="fock"):
+            queues = [part.task_block(p).tasks() for p in range(nproc)]
+            outcome = run_work_stealing(
+                queues,
+                cost_of,
+                (part.prow, part.pcol),
+                stats=stats,
+                steal_cost=steal_cost,
+                on_task=on_task,
+                on_steal=on_steal,
+                enable_stealing=enable_stealing,
+                tracer=tracer,
+            )
 
-    queues = [part.task_block(p).tasks() for p in range(nproc)]
-    outcome = run_work_stealing(
-        queues,
-        cost_of,
-        (part.prow, part.pcol),
-        stats=stats,
-        steal_cost=steal_cost,
-        on_task=on_task,
-        on_steal=on_steal,
-        enable_stealing=enable_stealing,
-    )
-
-    # -- final flush (Algorithm 4, line 9) ------------------------------------
-    for p in range(nproc):
-        g = 2.0 * bufs[p].j - bufs[p].k
-        nz = np.nonzero(np.abs(g) > 0.0)
-        if nz[0].size == 0:
-            continue
-        r0, r1 = int(nz[0].min()), int(nz[0].max()) + 1
-        c0, c1 = int(nz[1].min()), int(nz[1].max()) + 1
-        ga_g.acc(p, r0, c0, g[r0:r1, c0:c1])
-
-    fock = hcore + ga_g.to_numpy()
+        # -- final flush (Algorithm 4, line 9) --------------------------------
+        with tracer.span("flush", cat="fock"):
+            for p in range(nproc):
+                clock0 = float(stats.clock[p])
+                g = 2.0 * bufs[p].j - bufs[p].k
+                nz = np.nonzero(np.abs(g) > 0.0)
+                if nz[0].size == 0:
+                    continue
+                r0, r1 = int(nz[0].min()), int(nz[0].max()) + 1
+                c0, c1 = int(nz[1].min()), int(nz[1].max()) + 1
+                ga_g.acc(p, r0, c0, g[r0:r1, c0:c1])
+                tracer.virtual_span(
+                    "flush", p, clock0, float(stats.clock[p]), cat="comm"
+                )
+            fock = hcore + ga_g.to_numpy()
+        top["steals"] = len(outcome.steals)
+        top["quartets"] = float(outcome.executed_tasks.sum())
     return GTFockBuildResult(
         fock=fock,
         stats=stats,

@@ -15,7 +15,7 @@ quantities behind every evaluation artifact:
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -60,6 +60,8 @@ class FockSimResult:
     queue_ops_avg: float = 0.0
     total_eris: float = 0.0
     ntasks: int = 0
+    #: :meth:`CommStats.summary` of the run (volume, calls, load balance)
+    comm_summary: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -91,6 +93,7 @@ def _finalize(
         load_balance=float(finish.max()) / t_avg if t_avg > 0 else 1.0,
         comm_mb_per_proc=stats.volume_mb_per_process(),
         ga_calls_per_proc=stats.calls_per_process(),
+        comm_summary=stats.summary(),
         **extra,
     )
 

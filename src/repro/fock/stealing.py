@@ -21,6 +21,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs import Tracer, get_tracer
 from repro.runtime.event import EventQueue
 from repro.runtime.network import CommStats
 
@@ -121,6 +122,7 @@ def run_work_stealing(
     enable_stealing: bool = True,
     steal_fraction: float = 0.5,
     min_steal: int = 1,
+    tracer: Tracer | None = None,
 ) -> StealingOutcome:
     """Simulate the work-stealing execution of per-process task queues.
 
@@ -148,7 +150,15 @@ def run_work_stealing(
     min_steal:
         Do not bother stealing fewer than this many tasks: endgame
         single-task steals cost a D-buffer copy for near-zero work.
+    tracer:
+        Observability sink (defaults to the process-wide tracer).  When
+        enabled, every executed task and batch becomes a virtual span on
+        its rank's trace thread with *exact* scheduler times, and every
+        steal / idle transition an instant event carrying victim, batch
+        size, and the number of victim-queue probes scanned.
     """
+    if tracer is None:
+        tracer = get_tracer()
     prow, pcol = grid
     nproc = prow * pcol
     if len(queues) != nproc:
@@ -188,13 +198,27 @@ def run_work_stealing(
         st = states[p]
         # the whole (possibly shrunk) batch has run to completion
         commit(p, st.tasks, st.costs)
+        if tracer.enabled and st.tasks:
+            tracer.virtual_span(
+                "batch", p, st.start, t, cat="sched", ntasks=len(st.tasks)
+            )
+            prev = 0.0
+            for task, cum in zip(st.tasks, st.cum):
+                end = float(cum)
+                tracer.virtual_span(
+                    "task", p, st.start + prev, st.start + end,
+                    cat="task", task=str(task),
+                )
+                prev = end
         st.active = False
         st.tasks, st.costs, st.cum = [], [], []
 
         stolen = False
+        probes = 0
         if enable_stealing:
             for victim in scan_orders[p]:
                 queue_ops[p] += 1  # probe the victim's queue
+                probes += 1
                 vs = states[victim]
                 if not vs.active:
                     continue
@@ -223,11 +247,17 @@ def run_work_stealing(
                 end = states[p].begin(stolen_tasks, stolen_costs, start)
                 events.schedule(end, p)
                 steals.append(StealRecord(t, p, victim, len(stolen_tasks)))
+                tracer.virtual_instant(
+                    "steal", p, t, cat="sched",
+                    victim=victim, ntasks=len(stolen_tasks), scans=probes,
+                )
                 stolen = True
                 break
         if not stolen:
             done[p] = True
             finish[p] = t
+            if tracer.enabled and enable_stealing:
+                tracer.virtual_instant("idle", p, t, cat="sched", scans=probes)
 
     if stats is not None:
         stats.clock[:] = np.maximum(stats.clock, finish)

@@ -18,7 +18,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.chem.basis.basisset import BasisSet
 from repro.fock.screening_map import ScreeningMap
 from repro.fock.symmetry import symmetry_check, task_computes
 

@@ -1,9 +1,12 @@
 """Execution-timeline recording and rendering for scheduler runs.
 
-Wraps :func:`repro.fock.stealing.run_work_stealing` so every batch
-execution and steal becomes a timestamped span, then renders a text
+Wraps :func:`repro.fock.stealing.run_work_stealing` with a private
+:class:`~repro.obs.Tracer` so every executed task and steal becomes a
+timestamped span with *exact* scheduler times, then renders a text
 Gantt chart -- the tool one actually wants when debugging load balance
-("who idled, who got robbed, when").
+("who idled, who got robbed, when").  For Perfetto-grade traces of the
+same run, pass a tracer to ``run_work_stealing`` directly (see
+``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -11,9 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-import numpy as np
-
 from repro.fock.stealing import StealingOutcome, run_work_stealing
+from repro.obs import Tracer
 
 
 @dataclass(frozen=True)
@@ -74,6 +76,25 @@ class Timeline:
         return "\n".join(rows)
 
 
+def timeline_from_tracer(tracer: Tracer) -> Timeline:
+    """Convert a tracer's virtual scheduler events into a :class:`Timeline`.
+
+    Per-task virtual spans (``cat="task"``) become work spans with the
+    scheduler's exact start/end times; ``steal`` instants become
+    zero-duration steal marks on the thief's row.
+    """
+    timeline = Timeline()
+    for ev in tracer.spans(cat="task"):
+        timeline.spans.append(
+            Span(ev.tid, ev.ts, ev.end, "work", str(ev.args.get("task", "")))
+        )
+    for ev in tracer.instants(name="steal"):
+        timeline.spans.append(
+            Span(ev.tid, ev.ts, ev.ts, "steal", f"from p{ev.args['victim']}")
+        )
+    return timeline
+
+
 def traced_work_stealing(
     queues: list[list[Any]],
     cost_of: Callable[[Any], float],
@@ -82,34 +103,12 @@ def traced_work_stealing(
 ) -> tuple[StealingOutcome, Timeline]:
     """Run the work-stealing simulation while recording a Timeline.
 
-    Work spans are reconstructed by replaying each process's committed
-    tasks back-to-back from t=0 (the scheduler keeps workers busy until
-    their final idle tail, so mid-run gaps are negligible); steal events
-    carry exact timestamps from the outcome.  Intended for visualization
-    and busy-fraction summaries, not as a cycle-accurate trace.
+    The scheduler itself records every executed task as a virtual span
+    (including idle gaps between a steal and the stolen batch's start),
+    so the Timeline is cycle-accurate -- unlike the pre-``repro.obs``
+    version of this helper, which replayed committed tasks back-to-back
+    from t=0 and lost the gaps.
     """
-    inner_on_task = kwargs.pop("on_task", None)
-    executed: list[tuple[int, Any]] = []
-
-    def on_task(proc: int, task: Any) -> None:
-        executed.append((proc, task))
-        if inner_on_task is not None:
-            inner_on_task(proc, task)
-
-    outcome = run_work_stealing(
-        queues, cost_of, grid, on_task=on_task, **kwargs
-    )
-    timeline = Timeline()
-    # rebuild per-proc work spans by replaying costs in commit order;
-    # batches committed together are contiguous in the executed list
-    cursor = np.zeros(len(queues))
-    for rec in outcome.steals:
-        timeline.spans.append(
-            Span(rec.thief, rec.time, rec.time, "steal", f"from p{rec.victim}")
-        )
-    for proc, task in executed:
-        c = cost_of(task)
-        start = cursor[proc]
-        timeline.spans.append(Span(proc, start, start + c, "work", str(task)))
-        cursor[proc] = start + c
-    return outcome, timeline
+    tracer = kwargs.pop("tracer", None) or Tracer("work-stealing")
+    outcome = run_work_stealing(queues, cost_of, grid, tracer=tracer, **kwargs)
+    return outcome, timeline_from_tracer(tracer)

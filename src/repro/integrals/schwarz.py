@@ -23,7 +23,6 @@ Two evaluation paths:
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

@@ -1,0 +1,60 @@
+"""Unified observability: dual-clock tracing and labelled metrics.
+
+``repro.obs`` is the substrate the evaluation stands on -- the paper's
+Tables VI-VIII and Figure 2 are all observability artifacts.  Two parts:
+
+* :mod:`repro.obs.trace` -- :class:`Tracer` with nested host (wall-clock)
+  spans and explicit-time virtual spans for simulated ranks, exported as
+  Chrome trace-event JSON (open in Perfetto) or JSONL;
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry` of labelled
+  Counters/Gauges/Histograms with JSON + Prometheus exposition, and the
+  :func:`export_commstats` bridge from the runtime's accounting.
+
+Both default to process-wide singletons (:func:`get_tracer` /
+:func:`get_metrics`); the default tracer is a no-op so instrumented code
+pays nothing until ``--trace`` (or :func:`set_tracer`) turns it on.
+
+See ``docs/OBSERVABILITY.md`` for the span schema and metric names.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    export_commstats,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.trace import (
+    HOST_PID,
+    NULL_TRACER,
+    SIM_PID,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "export_commstats",
+    "get_metrics",
+    "set_metrics",
+    "HOST_PID",
+    "NULL_TRACER",
+    "SIM_PID",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]

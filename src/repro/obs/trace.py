@@ -1,0 +1,311 @@
+"""Dual-clock tracing with Perfetto (Chrome trace-event) export.
+
+The reproduction runs on two clocks at once: the *host* wall clock
+(real Python execution: SCF iterations, numeric ERI batches, benchmark
+setup) and the *virtual* per-process clock that :class:`~repro.runtime.
+network.CommStats` advances for the simulated Global-Arrays machine.
+:class:`Tracer` records both kinds of span in one event stream:
+
+* host spans are nested context managers stamped with
+  ``time.perf_counter()`` relative to the tracer's epoch;
+* virtual spans carry explicit start/end times in simulated seconds and
+  are attached to one trace "thread" per simulated process, so a
+  Perfetto timeline shows every rank as its own row.
+
+Exports: ``write_chrome(path)`` produces Chrome trace-event JSON that
+Perfetto (https://ui.perfetto.dev) opens directly; ``write_jsonl(path)``
+streams the raw span records one JSON object per line.  ``write(path)``
+dispatches on the ``.jsonl`` extension.
+
+Instrumentation throughout the package calls :func:`get_tracer`, which
+returns the module-level :data:`NULL_TRACER` unless a real tracer has
+been installed with :func:`set_tracer` (or the ``tracing`` context
+manager) -- the null tracer makes every probe a no-op, so tracing costs
+essentially nothing when disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: trace-event pid used for host (wall-clock) spans
+HOST_PID = 1
+#: trace-event pid used for simulated ranks (virtual clock)
+SIM_PID = 2
+
+
+def _coerce(obj: Any) -> Any:
+    """JSON fallback for numpy scalars and other oddballs."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    return str(obj)
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event, times in **seconds** on its clock.
+
+    ``phase`` follows the Chrome trace-event vocabulary: ``"X"`` for a
+    complete span (``ts`` + ``dur``), ``"i"`` for an instant.
+    """
+
+    phase: str
+    name: str
+    cat: str
+    pid: int
+    tid: int
+    ts: float
+    dur: float = 0.0
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    def to_chrome(self) -> dict:
+        ev = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.phase,
+            "pid": self.pid,
+            "tid": self.tid,
+            "ts": self.ts * 1e6,  # Chrome trace events use microseconds
+        }
+        if self.phase == "X":
+            ev["dur"] = self.dur * 1e6
+        if self.phase == "i":
+            ev["s"] = "t"  # instant scope: thread
+        if self.args:
+            ev["args"] = self.args
+        return ev
+
+    def to_record(self) -> dict:
+        rec = {
+            "type": "span" if self.phase == "X" else "instant",
+            "clock": "virtual" if self.pid == SIM_PID else "host",
+            "name": self.name,
+            "cat": self.cat,
+            "tid": self.tid,
+            "ts": self.ts,
+        }
+        if self.phase == "X":
+            rec["dur"] = self.dur
+        if self.args:
+            rec["args"] = self.args
+        return rec
+
+
+class Tracer:
+    """Collects host and virtual spans; thread-safe for host probes."""
+
+    enabled = True
+
+    def __init__(self, name: str = "repro"):
+        self.name = name
+        self.events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+        self._host_tids: dict[int, int] = {}
+
+    # -- clocks --------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _host_tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._host_tids.get(ident)
+        if tid is None:
+            tid = len(self._host_tids)
+            self._host_tids[ident] = tid
+        return tid
+
+    def _append(self, ev: TraceEvent) -> None:
+        with self._lock:
+            self.events.append(ev)
+
+    # -- host (wall-clock) probes -------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, cat: str = "host", **args) -> Iterator[dict]:
+        """Record a nested wall-clock span around the ``with`` body.
+
+        Yields the span's ``args`` dict so the body can attach results::
+
+            with tracer.span("fock_build") as sp:
+                f = build(...)
+                sp["nnz"] = int(np.count_nonzero(f))
+        """
+        t0 = self._now()
+        try:
+            yield args
+        finally:
+            self._append(
+                TraceEvent(
+                    "X", name, cat, HOST_PID, self._host_tid(), t0,
+                    self._now() - t0, args,
+                )
+            )
+
+    def instant(self, name: str, cat: str = "host", **args) -> None:
+        """Record a zero-duration wall-clock marker."""
+        self._append(
+            TraceEvent("i", name, cat, HOST_PID, self._host_tid(),
+                       self._now(), 0.0, args)
+        )
+
+    # -- virtual (simulated-clock) probes -----------------------------------
+
+    def virtual_span(
+        self, name: str, proc: int, start: float, end: float,
+        cat: str = "sim", **args,
+    ) -> None:
+        """Record a span on simulated rank ``proc``; times in virtual seconds."""
+        self._append(
+            TraceEvent("X", name, cat, SIM_PID, proc, start,
+                       max(end - start, 0.0), args)
+        )
+
+    def virtual_instant(
+        self, name: str, proc: int, t: float, cat: str = "sim", **args
+    ) -> None:
+        """Record an instant on simulated rank ``proc`` at virtual time ``t``."""
+        self._append(TraceEvent("i", name, cat, SIM_PID, proc, t, 0.0, args))
+
+    # -- queries -------------------------------------------------------------
+
+    def spans(self, cat: str | None = None, pid: int | None = None) -> list[TraceEvent]:
+        return [
+            ev for ev in self.events
+            if ev.phase == "X"
+            and (cat is None or ev.cat == cat)
+            and (pid is None or ev.pid == pid)
+        ]
+
+    def instants(self, name: str | None = None) -> list[TraceEvent]:
+        return [
+            ev for ev in self.events
+            if ev.phase == "i" and (name is None or ev.name == name)
+        ]
+
+    # -- export --------------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The full Chrome trace-event document (Perfetto-loadable)."""
+        meta: list[dict] = [
+            {"name": "process_name", "ph": "M", "pid": HOST_PID,
+             "args": {"name": f"{self.name} host (wall clock)"}},
+            {"name": "process_name", "ph": "M", "pid": SIM_PID,
+             "args": {"name": f"{self.name} simulated ranks (virtual clock)"}},
+        ]
+        sim_tids = sorted({ev.tid for ev in self.events if ev.pid == SIM_PID})
+        for tid in sim_tids:
+            meta.append(
+                {"name": "thread_name", "ph": "M", "pid": SIM_PID, "tid": tid,
+                 "args": {"name": f"rank {tid}"}}
+            )
+        for _, tid in sorted(self._host_tids.items(), key=lambda kv: kv[1]):
+            meta.append(
+                {"name": "thread_name", "ph": "M", "pid": HOST_PID, "tid": tid,
+                 "args": {"name": f"thread {tid}"}}
+            )
+        return {
+            "traceEvents": meta + [ev.to_chrome() for ev in self.events],
+            "displayTimeUnit": "ms",
+        }
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, default=_coerce)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            for ev in self.events:
+                fh.write(json.dumps(ev.to_record(), default=_coerce) + "\n")
+
+    def write(self, path: str) -> None:
+        """Write ``.jsonl`` span records or (default) Chrome trace JSON."""
+        if str(path).endswith(".jsonl"):
+            self.write_jsonl(path)
+        else:
+            self.write_chrome(path)
+
+
+class _NullArgs:
+    """Write-only sink yielded by the null tracer's spans."""
+
+    __slots__ = ()
+
+    def __setitem__(self, key, value) -> None:
+        pass
+
+    def update(self, *a, **kw) -> None:
+        pass
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullArgs:
+        return _NULL_ARGS
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_ARGS = _NullArgs()
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Free-of-charge tracer: every probe is a no-op."""
+
+    enabled = False
+
+    def span(self, name: str, cat: str = "host", **args):  # type: ignore[override]
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "host", **args) -> None:
+        pass
+
+    def virtual_span(self, name, proc, start, end, cat="sim", **args) -> None:
+        pass
+
+    def virtual_instant(self, name, proc, t, cat="sim", **args) -> None:
+        pass
+
+
+#: the shared disabled tracer; ``get_tracer()`` returns it by default
+NULL_TRACER = NullTracer()
+
+_active: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide active tracer (the no-op tracer unless enabled)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` (None restores the null tracer); returns the old one."""
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Activate a tracer for the duration of a ``with`` block."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

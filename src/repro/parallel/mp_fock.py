@@ -23,6 +23,7 @@ from repro.fock.partition import StaticPartition
 from repro.fock.screening_map import ScreeningMap
 from repro.fock.tasks import enumerate_task_quartets
 from repro.integrals.engine import ERIEngine
+from repro.obs import get_tracer
 from repro.scf.fock import orbit_images
 
 _WORKER_STATE: dict = {}
@@ -60,34 +61,50 @@ def parallel_build_jk(
     nworkers: int | None = None,
     screen: ScreeningMap | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """J and K via a pool of worker processes over shell-pair tasks."""
+    """J and K via a pool of worker processes over shell-pair tasks.
+
+    Parent-side phases (screening, partition, the pool map itself, and
+    the J/K reduction) are wall-clock spans on the active tracer; worker
+    interiors are separate processes and stay untraced.
+    """
+    tracer = get_tracer()
     basis = engine.basis
-    if screen is None:
-        screen = ScreeningMap(basis, engine.schwarz(), tau)
-    if nworkers is None:
-        nworkers = max(1, min(os.cpu_count() or 1, 8))
-    part = StaticPartition.build(basis.nshells, nworkers)
-    chunks = [part.task_block(p).tasks() for p in range(part.nproc)]
+    with tracer.span(
+        "parallel_build_jk", cat="parallel", nworkers=nworkers or 0
+    ) as top:
+        if screen is None:
+            with tracer.span("screening", cat="parallel"):
+                screen = ScreeningMap(basis, engine.schwarz(), tau)
+        if nworkers is None:
+            nworkers = max(1, min(os.cpu_count() or 1, 8))
+        top["nworkers"] = nworkers
+        with tracer.span("partition", cat="parallel"):
+            part = StaticPartition.build(basis.nshells, nworkers)
+            chunks = [part.task_block(p).tasks() for p in range(part.nproc)]
+        top["ntasks"] = sum(len(c) for c in chunks)
 
-    if nworkers == 1:
-        _init_worker(engine, screen, density)
-        j, k = _run_tasks([t for chunk in chunks for t in chunk])
+        if nworkers == 1:
+            with tracer.span("pool_map", cat="parallel", nworkers=1):
+                _init_worker(engine, screen, density)
+                j, k = _run_tasks([t for chunk in chunks for t in chunk])
+            return j, k
+
+        with tracer.span("pool_map", cat="parallel", nworkers=nworkers):
+            ctx = mp.get_context("fork")
+            with ctx.Pool(
+                processes=nworkers,
+                initializer=_init_worker,
+                initargs=(engine, screen, density),
+            ) as pool:
+                parts = pool.map(_run_tasks, chunks)
+        with tracer.span("reduce", cat="parallel"):
+            n = basis.nbf
+            j = np.zeros((n, n))
+            k = np.zeros((n, n))
+            for jp, kp in parts:
+                j += jp
+                k += kp
         return j, k
-
-    ctx = mp.get_context("fork")
-    with ctx.Pool(
-        processes=nworkers,
-        initializer=_init_worker,
-        initargs=(engine, screen, density),
-    ) as pool:
-        parts = pool.map(_run_tasks, chunks)
-    n = basis.nbf
-    j = np.zeros((n, n))
-    k = np.zeros((n, n))
-    for jp, kp in parts:
-        j += jp
-        k += kp
-    return j, k
 
 
 def parallel_fock_matrix(

@@ -86,7 +86,14 @@ class CommStats:
         """Average number of GA calls/process (Table VII metric)."""
         return float(self.calls.mean())
 
+    def load_balance(self) -> float:
+        """l = max/mean of the per-process clocks (Table VIII metric)."""
+        avg = float(self.clock.mean())
+        return float(self.clock.max()) / avg if avg > 0 else 1.0
+
     def summary(self) -> dict:
+        total = self.comm_time + self.comp_time
+        busy = float(total.sum())
         return {
             "nproc": self.nproc,
             "avg_volume_mb": self.volume_mb_per_process(),
@@ -94,4 +101,6 @@ class CommStats:
             "avg_comm_time": float(self.comm_time.mean()),
             "avg_comp_time": float(self.comp_time.mean()),
             "makespan": float(self.clock.max()),
+            "load_balance": self.load_balance(),
+            "comm_fraction": float(self.comm_time.sum()) / busy if busy > 0 else 0.0,
         }

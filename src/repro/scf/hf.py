@@ -17,6 +17,7 @@ from repro.chem.basis.basisset import BasisSet
 from repro.chem.molecule import Molecule
 from repro.integrals.engine import ERIEngine, MDEngine
 from repro.integrals.oneelec import core_hamiltonian, overlap
+from repro.obs import get_metrics, get_tracer
 from repro.scf.diis import DIIS
 from repro.scf.fock import fock_matrix, hf_electronic_energy
 from repro.scf.guess import core_guess
@@ -108,12 +109,38 @@ class RHF:
             )
 
     def run(self, guess: np.ndarray | None = None) -> SCFResult:
-        """Run the SCF iteration to convergence (Algorithm 1)."""
-        s = overlap(self.basis)
-        h = core_hamiltonian(self.basis)
-        x = orthogonalizer(s)
-        enuc = self.molecule.nuclear_repulsion()
-        d = guess if guess is not None else core_guess(h, x, self.nocc)
+        """Run the SCF iteration to convergence (Algorithm 1).
+
+        Each iteration is a nested wall-clock span (``fock_build`` /
+        ``diis`` / ``diagonalize`` or ``purify``) on the active tracer,
+        and the convergence trajectory (energy, energy/density change,
+        iteration count) is recorded as gauges labelled by molecule.
+        """
+        tracer = get_tracer()
+        metrics = get_metrics()
+        mol_label = self.molecule.name or self.molecule.formula
+        g_energy = metrics.gauge(
+            "repro_scf_energy_hartree", "current total SCF energy",
+            labelnames=("molecule",),
+        )
+        g_de = metrics.gauge(
+            "repro_scf_energy_change", "last |dE| between iterations",
+            labelnames=("molecule",),
+        )
+        g_dd = metrics.gauge(
+            "repro_scf_density_change", "last max|dD| between iterations",
+            labelnames=("molecule",),
+        )
+        c_iters = metrics.counter(
+            "repro_scf_iterations_total", "SCF iterations executed",
+            labelnames=("molecule",),
+        )
+        with tracer.span("scf_setup", cat="scf", molecule=mol_label):
+            s = overlap(self.basis)
+            h = core_hamiltonian(self.basis)
+            x = orthogonalizer(s)
+            enuc = self.molecule.nuclear_repulsion()
+            d = guess if guess is not None else core_guess(h, x, self.nocc)
 
         diis = DIIS() if self.use_diis else None
         inc_builder = None
@@ -129,34 +156,55 @@ class RHF:
         converged = False
         it = 0
         for it in range(1, self.max_iter + 1):
-            if inc_builder is not None:
-                f = inc_builder.fock(h, d)
-            else:
-                f = fock_matrix(self.engine, h, d, self.tau)
-            e_elec = hf_electronic_energy(h, f, d)
-            history.append(e_elec + enuc)
-            if diis is not None:
-                err = DIIS.error_vector(f, d, s, x)
-                diis.push(f, err)
-                f_eff = diis.extrapolate()
-            else:
-                f_eff = f
-            if self.density_method == "diagonalize":
-                d_new, eps, coeffs = density_from_fock(f_eff, x, self.nocc)
-            else:
-                res = purify(x.T @ f_eff @ x, self.nocc)
-                d_new = x @ res.density @ x.T
-            d_change = float(np.max(np.abs(d_new - d)))
-            e_change = abs(e_elec + enuc - e_old)
-            e_old = e_elec + enuc
-            d = d_new
-            if d_change < self.d_tol and e_change < self.e_tol:
-                converged = True
+            with tracer.span(
+                "scf_iteration", cat="scf", molecule=mol_label, iteration=it
+            ) as sp:
+                with tracer.span("fock_build", cat="scf"):
+                    if inc_builder is not None:
+                        f = inc_builder.fock(h, d)
+                    else:
+                        f = fock_matrix(self.engine, h, d, self.tau)
+                e_elec = hf_electronic_energy(h, f, d)
+                history.append(e_elec + enuc)
+                if diis is not None:
+                    with tracer.span("diis", cat="scf"):
+                        err = DIIS.error_vector(f, d, s, x)
+                        diis.push(f, err)
+                        f_eff = diis.extrapolate()
+                else:
+                    f_eff = f
+                with tracer.span(self.density_method, cat="scf"):
+                    if self.density_method == "diagonalize":
+                        d_new, eps, coeffs = density_from_fock(
+                            f_eff, x, self.nocc
+                        )
+                    else:
+                        res = purify(x.T @ f_eff @ x, self.nocc)
+                        d_new = x @ res.density @ x.T
+                d_change = float(np.max(np.abs(d_new - d)))
+                e_change = abs(e_elec + enuc - e_old)
+                e_old = e_elec + enuc
+                d = d_new
+                sp["energy"] = e_elec + enuc
+                sp["d_change"] = d_change
+                c_iters.inc(molecule=mol_label)
+                g_energy.set(e_elec + enuc, molecule=mol_label)
+                g_dd.set(d_change, molecule=mol_label)
+                if np.isfinite(e_change):
+                    g_de.set(float(e_change), molecule=mol_label)
+                if d_change < self.d_tol and e_change < self.e_tol:
+                    converged = True
+            if converged:
                 break
 
         # final energy with the converged density
-        f = fock_matrix(self.engine, h, d, self.tau)
+        with tracer.span("final_fock_build", cat="scf", molecule=mol_label):
+            f = fock_matrix(self.engine, h, d, self.tau)
         e_elec = hf_electronic_energy(h, f, d)
+        metrics.gauge(
+            "repro_scf_converged", "1 if the last SCF run converged",
+            labelnames=("molecule",),
+        ).set(int(converged), molecule=mol_label)
         return SCFResult(
             energy=e_elec + enuc,
             electronic_energy=e_elec,

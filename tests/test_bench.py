@@ -1,6 +1,5 @@
 """Tests for the benchmark harness and experiment drivers (smoke level)."""
 
-import numpy as np
 import pytest
 
 from repro.bench.harness import (
@@ -24,6 +23,24 @@ class TestHarness:
         s1 = molecule_setup("x", m)
         s2 = molecule_setup("x", m)
         assert s1 is s2
+
+    def test_same_formula_different_geometry_not_shared(self):
+        # two C6H14 geometries must not share screening/cost state
+        m1 = alkane(6)
+        coords = m1.coords_angstrom.copy()
+        coords[:, 0] *= 1.25  # stretched conformer, same formula
+        from repro.chem.molecule import Molecule
+
+        m2 = Molecule.from_arrays(m1.symbols, coords, name="stretched")
+        assert m1.formula == m2.formula
+        assert m1.geometry_hash() != m2.geometry_hash()
+        s1 = molecule_setup("x", m1)
+        s2 = molecule_setup("x", m2)
+        assert s1 is not s2
+        assert s1.screen is not s2.screen
+
+    def test_geometry_hash_stable(self):
+        assert alkane(6).geometry_hash() == alkane(6).geometry_hash()
 
     def test_setup_reordered(self):
         s = molecule_setup("y", alkane(7))

@@ -85,7 +85,9 @@ class TestAlkane:
         assert alkane(20).min_interatomic_distance() > 1.5  # bohr
 
     def test_linear_extent_grows(self):
-        span = lambda m: np.ptp(m.coords[:, 0])
+        def span(m):
+            return np.ptp(m.coords[:, 0])
+
         assert span(alkane(20)) > span(alkane(10)) * 1.8
 
     def test_invalid_raises(self):

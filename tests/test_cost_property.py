@@ -7,7 +7,6 @@ distributions and drop tolerances, not just chemically shaped ones.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro.chem.basis.basisset import BasisSet
 from repro.chem.basis.shells import Shell
-from repro.chem.builders import h2
 from repro.integrals.eri_md import eri_shell_quartet, eri_tensor
 from repro.integrals.eri_os import eri_shell_quartet_os
 

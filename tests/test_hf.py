@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.chem.builders import h2, methane, water
+from repro.chem.builders import h2, water
 from repro.chem.molecule import Molecule
 from repro.scf.hf import RHF
 

@@ -1,7 +1,6 @@
 """Tests for incremental (delta-density) Fock construction."""
 
 import numpy as np
-import pytest
 
 from repro.integrals.engine import MDEngine
 from repro.scf.fock import fock_matrix

@@ -1,0 +1,379 @@
+"""Tests for repro.obs: tracing, metrics, and the pipeline instrumentation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.builders import water
+from repro.fock.gtfock import gtfock_build
+from repro.fock.stealing import run_work_stealing
+from repro.integrals.engine import MDEngine
+from repro.integrals.oneelec import core_hamiltonian
+from repro.obs import (
+    HOST_PID,
+    NULL_TRACER,
+    SIM_PID,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    export_commstats,
+    get_metrics,
+    get_tracer,
+    set_metrics,
+    set_tracer,
+    tracing,
+)
+from repro.runtime.machine import LONESTAR
+from repro.runtime.network import CommStats
+
+
+def assert_properly_nested(spans):
+    """Spans (ts, end) on one thread must nest, never partially overlap."""
+    stack = []
+    for ts, end in sorted(spans, key=lambda s: (s[0], -s[1])):
+        while stack and ts >= stack[-1] - 1e-12:
+            stack.pop()
+        if stack:
+            assert end <= stack[-1] + 1e-12, "partially overlapping spans"
+        stack.append(end)
+
+
+class TestTracer:
+    def test_nested_host_spans(self):
+        tr = Tracer("t")
+        with tr.span("outer", cat="x"):
+            with tr.span("inner", cat="x"):
+                pass
+            with tr.span("inner2", cat="x") as sp:
+                sp["k"] = 1
+        spans = tr.spans(pid=HOST_PID)
+        assert [s.name for s in spans] == ["inner", "inner2", "outer"]
+        assert spans[1].args == {"k": 1}
+        outer = spans[2]
+        for inner in spans[:2]:
+            assert outer.ts <= inner.ts and inner.end <= outer.end
+        assert_properly_nested([(s.ts, s.end) for s in spans])
+
+    def test_span_records_even_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError
+        assert [s.name for s in tr.spans()] == ["boom"]
+
+    def test_virtual_spans_and_instants(self):
+        tr = Tracer()
+        tr.virtual_span("work", proc=3, start=1.0, end=2.5, cat="task", n=7)
+        tr.virtual_instant("steal", proc=3, t=2.5, victim=1)
+        span = tr.spans(cat="task")[0]
+        assert (span.pid, span.tid, span.ts, span.end) == (SIM_PID, 3, 1.0, 2.5)
+        inst = tr.instants("steal")[0]
+        assert inst.ts == 2.5 and inst.args["victim"] == 1
+
+    def test_chrome_trace_structure(self):
+        tr = Tracer("demo")
+        with tr.span("a"):
+            pass
+        tr.virtual_span("w", proc=0, start=0.0, end=1.0)
+        doc = tr.chrome_trace()
+        json.dumps(doc)  # serializable
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["pid"] for e in meta} == {HOST_PID, SIM_PID}
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 2
+        virt = next(e for e in xs if e["pid"] == SIM_PID)
+        assert virt["ts"] == 0.0 and virt["dur"] == 1e6  # seconds -> us
+
+    def test_write_chrome_and_jsonl(self, tmp_path):
+        tr = Tracer()
+        with tr.span("a", cat="c", n=np.int64(3)):  # numpy arg must serialize
+            pass
+        chrome = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        tr.write(str(chrome))
+        tr.write(str(jsonl))
+        assert "traceEvents" in json.loads(chrome.read_text())
+        recs = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert recs[0]["name"] == "a" and recs[0]["clock"] == "host"
+
+    def test_null_tracer_records_nothing(self):
+        nt = NullTracer()
+        with nt.span("x") as sp:
+            sp["ignored"] = 1
+        nt.instant("i")
+        nt.virtual_span("v", 0, 0.0, 1.0)
+        nt.virtual_instant("vi", 0, 0.0)
+        assert nt.events == []
+        assert not nt.enabled
+
+    def test_active_tracer_management(self):
+        assert get_tracer() is NULL_TRACER
+        tr = Tracer()
+        prev = set_tracer(tr)
+        try:
+            assert get_tracer() is tr
+        finally:
+            set_tracer(prev)
+        assert get_tracer() is NULL_TRACER
+
+    def test_tracing_context_manager(self):
+        with tracing() as tr:
+            assert get_tracer() is tr
+            with get_tracer().span("inside"):
+                pass
+        assert get_tracer() is NULL_TRACER
+        assert [s.name for s in tr.spans()] == ["inside"]
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = Counter("c_total", labelnames=("proc",))
+        c.inc(proc=0)
+        c.inc(5, proc=0)
+        c.inc(2, proc=1)
+        assert c.value(proc=0) == 6
+        assert c.value(proc=1) == 2
+        assert c.value(proc=9) == 0
+        with pytest.raises(ValueError):
+            c.inc(-1, proc=0)
+        with pytest.raises(ValueError):
+            c.inc(1)  # missing label
+
+    def test_counter_preserves_ints(self):
+        c = Counter("c_total")
+        c.inc(2**60)
+        c.inc(3)
+        assert c.value() == 2**60 + 3
+        assert isinstance(c.value(), int)
+
+    def test_gauge(self):
+        g = Gauge("g")
+        g.set(1.5)
+        g.inc()
+        g.dec(0.5)
+        assert g.value() == 2.0
+
+    def test_histogram(self):
+        h = Histogram("h_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["counts"] == [1, 2, 3]  # cumulative
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(55.55)
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0, 0.5))
+
+    def test_registry_get_or_create(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labelnames=("p",))
+        assert reg.counter("x_total", labelnames=("p",)) is a
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")  # kind conflict
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labelnames=("q",))  # label conflict
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+
+    def test_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests", labelnames=("code",)).inc(3, code=200)
+        reg.gauge("temp", "temperature").set(1.5)
+        h = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        text = reg.to_prometheus()
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{code="200"} 3' in text
+        assert "temp 1.5" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_write_json_and_prom(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n_total").inc(7)
+        jpath = tmp_path / "m.json"
+        ppath = tmp_path / "m.prom"
+        reg.write(str(jpath))
+        reg.write(str(ppath))
+        doc = json.loads(jpath.read_text())
+        assert doc["n_total"]["series"][0]["value"] == 7
+        assert "n_total 7" in ppath.read_text()
+
+    def test_global_registry_swap(self):
+        fresh = MetricsRegistry()
+        prev = set_metrics(fresh)
+        try:
+            assert get_metrics() is fresh
+        finally:
+            set_metrics(prev)
+        assert get_metrics() is prev
+
+
+class TestCommStatsBridge:
+    def make_stats(self):
+        stats = CommStats(4, LONESTAR)
+        rng = np.random.default_rng(7)
+        for p in range(4):
+            stats.charge_comm(p, int(rng.integers(1, 10**7)), ncalls=int(rng.integers(1, 9)))
+            stats.charge_comm(p, int(rng.integers(1, 10**5)), remote=False)
+            stats.charge_compute(p, float(rng.random()))
+        return stats
+
+    def test_table6_table7_counters_bit_for_bit(self):
+        stats = self.make_stats()
+        reg = export_commstats(stats, MetricsRegistry())
+        nbytes = reg.get("repro_comm_bytes_total")
+        calls = reg.get("repro_comm_calls_total")
+        total_bytes = sum(v for _, _, v in nbytes.samples())
+        total_calls = sum(v for _, _, v in calls.samples())
+        # exact integer totals -> the Table VI / VII averages reproduce
+        # bit-for-bit
+        assert total_bytes == int(stats.bytes.sum())
+        assert total_calls == int(stats.calls.sum())
+        assert total_bytes / stats.nproc / 1e6 == stats.volume_mb_per_process()
+        assert total_calls / stats.nproc == stats.calls_per_process()
+        assert (
+            reg.get("repro_comm_volume_mb_per_process").value()
+            == stats.volume_mb_per_process()
+        )
+        assert (
+            reg.get("repro_comm_calls_per_process").value()
+            == stats.calls_per_process()
+        )
+
+    def test_load_balance_exported(self):
+        stats = self.make_stats()
+        reg = export_commstats(stats, MetricsRegistry())
+        assert reg.get("repro_comm_load_balance_ratio").value() == pytest.approx(
+            stats.load_balance()
+        )
+        assert stats.summary()["load_balance"] == stats.load_balance()
+
+    def test_per_proc_labels(self):
+        stats = self.make_stats()
+        reg = export_commstats(stats, MetricsRegistry())
+        clock = reg.get("repro_comm_clock_seconds")
+        for p in range(4):
+            assert clock.value(proc=p) == float(stats.clock[p])
+
+
+class TestSchedulerTracing:
+    def test_task_spans_exact_times(self):
+        tr = Tracer()
+        queues = [[2.0, 1.0, 0.5], []]
+        outcome = run_work_stealing(
+            queues, cost_of=lambda c: c, grid=(1, 2),
+            enable_stealing=False, tracer=tr,
+        )
+        tasks = [s for s in tr.spans(cat="task") if s.tid == 0]
+        assert [(s.ts, s.end) for s in tasks] == [
+            (0.0, 2.0), (2.0, 3.0), (3.0, 3.5)
+        ]
+        batches = tr.spans(cat="sched")
+        assert batches[-1].end == outcome.finish_time[0]
+
+    def test_steal_instants_recorded(self):
+        tr = Tracer()
+        queues = [[1.0] * 40, []]
+        outcome = run_work_stealing(
+            queues, cost_of=lambda c: c, grid=(1, 2), tracer=tr
+        )
+        steals = tr.instants("steal")
+        assert len(steals) == len(outcome.steals)
+        assert steals[0].args["victim"] == 0
+        assert steals[0].args["ntasks"] >= 1
+        assert steals[0].args["scans"] >= 1
+        assert tr.instants("idle")  # every proc eventually idles
+
+    def test_gtfock_build_virtual_clocks_agree(self):
+        basis = BasisSet.build(water(), "sto-3g")
+        engine = MDEngine(basis)
+        h = core_hamiltonian(basis)
+        d = np.eye(basis.nbf) * 0.3
+        tr = Tracer()
+        res = gtfock_build(engine, h, d, nproc=4, tracer=tr)
+        virt = tr.spans(pid=SIM_PID)
+        assert virt, "expected virtual spans"
+        for p in range(4):
+            ends = [s.end for s in virt if s.tid == p]
+            # the last virtual event on each rank is exactly its clock
+            assert max(ends) == float(res.stats.clock[p])
+        names = {s.name for s in virt}
+        assert {"prefetch", "batch", "task"} <= names
+        host_names = {s.name for s in tr.spans(pid=HOST_PID)}
+        assert {"gtfock_build", "setup", "prefetch", "schedule", "flush"} <= host_names
+        # per-rank spans must nest cleanly (Perfetto renders rows per tid)
+        for p in range(4):
+            assert_properly_nested(
+                [(s.ts, s.end) for s in virt if s.tid == p and s.name != "batch"]
+            )
+
+    def test_disabled_tracing_adds_no_events(self):
+        queues = [[1.0, 1.0], [1.0]]
+        run_work_stealing(queues, cost_of=lambda c: c, grid=(1, 2))
+        assert NULL_TRACER.events == []
+
+
+class TestScfTracing:
+    def test_scf_iteration_spans_and_gauges(self):
+        from repro.scf.hf import RHF
+
+        fresh = MetricsRegistry()
+        prev = set_metrics(fresh)
+        try:
+            with tracing() as tr:
+                result = RHF(water(), basis_name="sto-3g").run()
+        finally:
+            set_metrics(prev)
+        iters = [s for s in tr.spans() if s.name == "scf_iteration"]
+        assert len(iters) == result.iterations
+        inner = {s.name for s in tr.spans(cat="scf")}
+        assert {"scf_setup", "fock_build", "diis", "diagonalize"} <= inner
+        e = fresh.get("repro_scf_energy_hartree").value(molecule="H2O")
+        assert e == pytest.approx(result.energy)
+        assert fresh.get("repro_scf_converged").value(molecule="H2O") == 1
+        assert (
+            fresh.get("repro_scf_iterations_total").value(molecule="H2O")
+            == result.iterations
+        )
+
+
+class TestCli:
+    def test_scf_trace_and_metrics_flags(self, tmp_path):
+        from repro.cli import main
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        rc = main(
+            ["scf", "water", "--trace", str(trace), "--metrics", str(metrics)]
+        )
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert any(e["name"] == "scf_iteration" for e in spans)
+        by_thread = {}
+        for e in spans:
+            by_thread.setdefault((e["pid"], e["tid"]), []).append(
+                (e["ts"], e["ts"] + e["dur"])
+            )
+        for ss in by_thread.values():
+            assert_properly_nested(ss)
+        text = metrics.read_text()
+        assert "repro_scf_energy_hartree" in text
+        # CLI restores the null tracer afterwards
+        assert get_tracer() is NULL_TRACER
+
+    def test_jsonl_trace(self, tmp_path):
+        from repro.cli import main
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["scf", "h2", "--trace", str(trace)]) == 0
+        recs = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert all("name" in r and "ts" in r for r in recs)

@@ -7,7 +7,6 @@ import pytest
 
 from repro.chem.basis.basisset import BasisSet
 from repro.chem.basis.shells import Shell
-from repro.chem.builders import h2, water
 from repro.integrals.oneelec import (
     core_hamiltonian,
     kinetic,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.integrals.engine import MDEngine, SyntheticERIEngine
 from repro.parallel.mp_fock import parallel_build_jk, parallel_fock_matrix
-from repro.scf.fock import build_jk, fock_matrix
+from repro.scf.fock import build_jk
 
 
 class TestParallelJK:

@@ -45,7 +45,9 @@ class TestSteps:
     def test_mcweeny_contracts(self):
         d = np.diag([0.9, 0.8, 0.1])
         d2 = mcweeny_step(d)
-        err = lambda m: np.linalg.norm(m @ m - m)
+        def err(m):
+            return np.linalg.norm(m @ m - m)
+
         assert err(d2) < err(d)
 
     def test_canonical_preserves_trace(self):

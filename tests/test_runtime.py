@@ -202,3 +202,58 @@ class TestEventQueue:
         q.schedule(1.0, "second")
         assert q.pop()[1] == "first"
         assert q.pop()[1] == "second"
+
+    def test_cancel_then_reschedule_revives(self):
+        q = EventQueue()
+        q.schedule(1.0, "a")
+        q.cancel("a")
+        q.schedule(2.0, "a")
+        assert q.pop() == (2.0, "a")
+        assert q.pop() is None
+
+    def test_cancel_unknown_key_is_noop(self):
+        q = EventQueue()
+        q.cancel("never-scheduled")
+        q.schedule(1.0, "a")
+        assert q.pop() == (1.0, "a")
+
+    def test_cancel_only_affects_its_key(self):
+        q = EventQueue()
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        q.cancel("a")
+        assert q.pop() == (2.0, "b")
+        assert q.pop() is None
+
+    def test_reschedule_after_pop(self):
+        q = EventQueue()
+        q.schedule(1.0, "a")
+        assert q.pop() == (1.0, "a")
+        q.schedule(3.0, "a")
+        assert q.pop() == (3.0, "a")
+
+    def test_repeated_reschedule_keeps_last_only(self):
+        q = EventQueue()
+        for t in (5.0, 4.0, 3.0, 2.0):
+            q.schedule(t, "a")
+        assert q.pop() == (2.0, "a")
+        assert q.pop() is None
+
+    def test_len_counts_stale_entries(self):
+        q = EventQueue()
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "a")  # first entry is now stale but still heaped
+        assert len(q) == 2
+        assert q.pop() == (2.0, "a")
+        assert len(q) == 0
+
+    def test_cancel_inflight_among_many(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i), i)
+        q.cancel(2)
+        q.cancel(4)
+        popped = []
+        while (ev := q.pop()) is not None:
+            popped.append(ev[1])
+        assert popped == [0, 1, 3]

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.integrals.engine import SyntheticERIEngine
 from repro.integrals.eri_tensor_util import dense_fock_reference
 from repro.scf.fock import (
     build_jk,

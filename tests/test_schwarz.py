@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.chem.basis.basisset import BasisSet
-from repro.chem.builders import alkane, water
+from repro.chem.builders import alkane
 from repro.integrals.eri_md import eri_shell_quartet
 from repro.integrals.schwarz import (
     pair_bound,

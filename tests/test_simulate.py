@@ -1,10 +1,9 @@
 """Tests for the timing-level simulation of both algorithms."""
 
-import numpy as np
 import pytest
 
 from repro.chem.basis.basisset import BasisSet
-from repro.chem.builders import alkane, graphene_flake
+from repro.chem.builders import alkane
 from repro.fock.cost import quartet_cost_matrix
 from repro.fock.nwchem_cost import build_nwchem_task_arrays
 from repro.fock.reorder import reorder_basis

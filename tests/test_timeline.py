@@ -1,6 +1,5 @@
 """Tests for execution-timeline recording."""
 
-import numpy as np
 import pytest
 
 from repro.fock.timeline import Span, Timeline, traced_work_stealing
@@ -54,5 +53,67 @@ class TestTimeline:
         outcome, tl = traced_work_stealing(
             queues, cost_of=lambda c: c, grid=(1, 2)
         )
-        # replayed busy time cannot exceed the simulated makespan
-        assert tl.makespan <= outcome.makespan + 1e-9
+        # spans now carry exact scheduler times: the last work span ends
+        # at the slowest process's finish time
+        assert tl.makespan == pytest.approx(outcome.makespan)
+
+    def test_work_spans_carry_exact_start_times(self):
+        queues = [[2.0, 1.0], []]
+        _outcome, tl = traced_work_stealing(
+            queues, cost_of=lambda c: c, grid=(1, 2), enable_stealing=False
+        )
+        assert [(s.start, s.end) for s in tl.for_proc(0)] == [
+            (0.0, 2.0), (2.0, 3.0)
+        ]
+
+
+class TestRenderEdgeCases:
+    def test_empty_timeline(self):
+        tl = Timeline()
+        assert tl.render() == "(empty timeline)"
+        assert tl.makespan == 0.0
+        assert tl.busy_fraction(0) == 1.0
+
+    def test_zero_duration_spans_only(self):
+        # steal marks with no work at all: makespan 0, nothing to draw
+        tl = Timeline(spans=[Span(0, 0.0, 0.0, "steal", "from p1")])
+        assert tl.render() == "(empty timeline)"
+
+    def test_zero_duration_span_among_work(self):
+        tl = Timeline(
+            spans=[
+                Span(0, 0.0, 4.0, "work"),
+                Span(1, 2.0, 2.0, "steal", "from p0"),
+                Span(1, 2.0, 4.0, "work"),
+            ]
+        )
+        art = tl.render(width=20)
+        lines = art.splitlines()
+        assert len(lines) == 3  # 2 procs + axis
+        assert "#" in lines[0]
+        assert "#" in lines[1]
+
+    def test_single_process(self):
+        tl = Timeline(spans=[Span(0, 0.0, 1.0, "work")])
+        art = tl.render(width=10)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("p0")
+        assert "." not in lines[0].split("|")[1]  # fully busy
+        assert tl.busy_fraction(0) == pytest.approx(1.0)
+
+    def test_steal_mark_does_not_overwrite_work(self):
+        tl = Timeline(
+            spans=[
+                Span(0, 0.0, 10.0, "work"),
+                Span(0, 5.0, 5.0, "steal", "from p1"),
+            ]
+        )
+        row = tl.render(width=20).splitlines()[0]
+        assert "$" not in row  # work wins over steal marks
+
+    def test_render_intermediate_proc_without_spans(self):
+        tl = Timeline(spans=[Span(2, 0.0, 1.0, "work")])
+        lines = tl.render(width=12).splitlines()
+        assert len(lines) == 4  # p0..p2 + axis
+        assert set(lines[0].split("|")[1]) == {"."}

@@ -5,7 +5,7 @@ import pytest
 
 from repro.chem.basis.basisset import BasisSet
 from repro.chem.basis.shells import Shell
-from repro.chem.builders import h2, water
+from repro.chem.builders import h2
 from repro.chem.molecule import Molecule
 from repro.integrals.engine import MDEngine
 from repro.integrals.eri_3center import eri_2center_block, eri_3center_block
