@@ -1,0 +1,165 @@
+"""ERI kernel microbenchmark: batched vs seed path, quartet-cache reuse.
+
+Times the water Fock-build microbenchmark three ways:
+
+* **seed**: the per-primitive Python-loop MD kernel
+  (``MDEngine(batched=False)``), the baseline this PR replaces;
+* **batched**: the pair-cached, batched-primitive kernel
+  (:mod:`repro.integrals.pairdata`), checked to agree to 1e-10;
+* **cached**: two successive direct-SCF-style builds through the
+  bounded LRU canonical-quartet cache, measuring the second-iteration
+  hit rate and wall-time drop.
+
+Each full run appends one datapoint to ``BENCH_eri.json`` at the repo
+root -- the perf trajectory future PRs extend and compare against.
+
+Run as a pytest benchmark (``pytest benchmarks/test_bench_eri_kernels.py``)
+or as a script; ``--quick`` runs a small STO-3G smoke variant that only
+asserts the batched kernel is not a regression (used by CI) and does not
+touch the history file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.harness import format_table
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.builders import water
+from repro.integrals.engine import MDEngine
+from repro.scf.fock import build_jk
+
+HISTORY_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_eri.json"
+
+#: minimum acceptable batched-over-seed speedup in the full benchmark
+#: (the issue targets >= 3x; asserted with headroom for loaded machines)
+FULL_SPEEDUP_FLOOR = 2.0
+
+
+def _timed_build(engine, density, tau=1e-11):
+    t0 = time.perf_counter()
+    j, k = build_jk(engine, density, tau)
+    return time.perf_counter() - t0, j, k
+
+
+def run_eri_kernel_bench(basis_name: str = "6-31g") -> dict:
+    """One full measurement: seed vs batched vs cache-served Fock builds."""
+    mol = water()
+    basis = BasisSet.build(mol, basis_name)
+    rng = np.random.default_rng(17)
+    d = rng.normal(size=(basis.nbf, basis.nbf))
+    d = (d + d.T) / 2.0
+
+    t_seed, j0, k0 = _timed_build(MDEngine(basis, batched=False), d)
+    t_batched, j1, k1 = _timed_build(MDEngine(basis), d)
+    max_diff = float(
+        max(np.max(np.abs(j0 - j1)), np.max(np.abs(k0 - k1)))
+    )
+
+    cached = MDEngine(basis, cache_mb=64.0)
+    t_iter1, _, _ = _timed_build(cached, d)
+    hits0, misses0 = cached.quartet_cache.hits, cached.quartet_cache.misses
+    t_iter2, j2, k2 = _timed_build(cached, d)
+    hits = cached.quartet_cache.hits - hits0
+    misses = cached.quartet_cache.misses - misses0
+    cache_diff = float(
+        max(np.max(np.abs(j0 - j2)), np.max(np.abs(k0 - k2)))
+    )
+
+    return {
+        "benchmark": "eri_kernels",
+        "molecule": "H2O",
+        "basis": basis_name,
+        "nshells": basis.nshells,
+        "nbf": basis.nbf,
+        "quartets": cached.quartets_computed,
+        "t_seed_s": round(t_seed, 4),
+        "t_batched_s": round(t_batched, 4),
+        "batched_speedup": round(t_seed / t_batched, 2),
+        "max_abs_diff": max_diff,
+        "cache_max_abs_diff": cache_diff,
+        "t_cached_iter1_s": round(t_iter1, 4),
+        "t_cached_iter2_s": round(t_iter2, 4),
+        "cache_iter2_hits": hits,
+        "cache_iter2_misses": misses,
+        "cache_iter2_hit_rate": round(hits / max(1, hits + misses), 4),
+        "cache_bytes_held": cached.quartet_cache.bytes_held,
+    }
+
+
+def append_history(entry: dict, path: pathlib.Path = HISTORY_PATH) -> None:
+    """Append one datapoint to the BENCH_eri.json trajectory."""
+    entry = dict(entry, timestamp=time.strftime("%Y-%m-%dT%H:%M:%S"))
+    if path.exists():
+        doc = json.loads(path.read_text())
+    else:
+        doc = {"description": "ERI kernel perf trajectory (see docs/PERFORMANCE.md)",
+               "history": []}
+    doc["history"].append(entry)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def render_report(result: dict) -> str:
+    rows = [
+        ["seed per-primitive", result["t_seed_s"], 1.0],
+        ["batched + pair cache", result["t_batched_s"],
+         result["batched_speedup"]],
+        ["quartet-cache iter 2", result["t_cached_iter2_s"],
+         round(result["t_seed_s"] / max(result["t_cached_iter2_s"], 1e-12), 2)],
+    ]
+    table = format_table(
+        ["kernel", "time [s]", "speedup"],
+        rows,
+        title=(
+            f"ERI kernels: water/{result['basis']} J+K build "
+            f"({result['quartets']} quartets, "
+            f"max |diff| {result['max_abs_diff']:.2e}, "
+            f"iter-2 hit rate {result['cache_iter2_hit_rate']:.0%})"
+        ),
+    )
+    return table
+
+
+def check_result(result: dict, quick: bool) -> None:
+    """Regression gates: numerics exact, batched not slower than seed."""
+    assert result["max_abs_diff"] < 1e-10, (
+        f"batched kernel numerics drifted: {result['max_abs_diff']:.3e}"
+    )
+    assert result["cache_max_abs_diff"] < 1e-10, (
+        f"cache-served blocks drifted: {result['cache_max_abs_diff']:.3e}"
+    )
+    assert result["cache_iter2_hit_rate"] > 0.5, (
+        f"second-iteration hit rate {result['cache_iter2_hit_rate']:.0%} <= 50%"
+    )
+    floor = 1.0 if quick else FULL_SPEEDUP_FLOOR
+    assert result["batched_speedup"] >= floor, (
+        f"batched kernel is a speed regression: "
+        f"{result['batched_speedup']:.2f}x < {floor}x over the seed path"
+    )
+
+
+def test_eri_kernel_speedup(emit):
+    result = run_eri_kernel_bench()
+    emit(render_report(result))
+    check_result(result, quick=False)
+    append_history(result)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    result = run_eri_kernel_bench("sto-3g" if quick else "6-31g")
+    print(render_report(result))
+    check_result(result, quick=quick)
+    if not quick:
+        append_history(result)
+        print(f"appended datapoint to {HISTORY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -73,6 +73,7 @@ class BasisSet:
     def __post_init__(self) -> None:
         sizes = np.array([sh.nbf for sh in self.shells], dtype=int)
         self.offsets = np.concatenate([[0], np.cumsum(sizes)])
+        self._shell_slices: tuple[slice, ...] | None = None
 
     # -- construction --------------------------------------------------------
 
@@ -112,6 +113,15 @@ class BasisSet:
     def shell_slice(self, i: int) -> slice:
         """Function-index slice of shell ``i``."""
         return slice(int(self.offsets[i]), int(self.offsets[i + 1]))
+
+    @property
+    def shell_slices(self) -> tuple[slice, ...]:
+        """All function-index slices, cached (hot-path scatter lookups)."""
+        if self._shell_slices is None:
+            self._shell_slices = tuple(
+                self.shell_slice(i) for i in range(self.nshells)
+            )
+        return self._shell_slices
 
     def shell_sizes(self) -> np.ndarray:
         """Functions per shell, shape (nshells,)."""

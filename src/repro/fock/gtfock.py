@@ -126,7 +126,7 @@ def gtfock_build(
             costs = quartet_cost_matrix(screen)
             offsets = basis.offsets
             bufs = [_ProcessBuffers(nbf) for _ in range(nproc)]
-            slices = [basis.shell_slice(s) for s in range(basis.nshells)]
+            slices = basis.shell_slices
 
         # -- prefetch phase (Algorithm 4, line 3) ----------------------------
         with tracer.span("prefetch", cat="fock"):

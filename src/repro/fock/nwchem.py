@@ -89,7 +89,7 @@ def nwchem_build(
     shells_of_atom = basis.atom_shell_lists()
     aranges = atom_function_ranges(basis)
     sizes = basis.shell_sizes().astype(float)
-    slices = [basis.shell_slice(s) for s in range(basis.nshells)]
+    slices = basis.shell_slices
     t_eri = config.t_int_nwchem  # one process per core
 
     def quartets_of(task: NWChemTask):

@@ -1,11 +1,24 @@
 """Gaussian integral engines: Boys, one-electron, ERIs, screening."""
 
 from repro.integrals.boys import boys, boys_array, boys_quadrature, boys_series, boys_single
-from repro.integrals.engine import ERIEngine, MDEngine, OSEngine, SyntheticERIEngine
+from repro.integrals.engine import (
+    ERIEngine,
+    MDEngine,
+    OSEngine,
+    QuartetCache,
+    SyntheticERIEngine,
+    canonical_quartet,
+)
 from repro.integrals.eri_3center import eri_2center_block, eri_3center_block
 from repro.integrals.eri_md import eri_shell_quartet, eri_tensor
 from repro.integrals.moments import dipole_integrals
 from repro.integrals.eri_os import eri_shell_quartet_os
+from repro.integrals.pairdata import (
+    PairData,
+    ShellPairData,
+    build_pair_data,
+    eri_shell_quartet_batched,
+)
 from repro.integrals.oneelec import (
     core_hamiltonian,
     kinetic,
@@ -29,8 +42,14 @@ __all__ = [
     "ERIEngine",
     "MDEngine",
     "OSEngine",
+    "QuartetCache",
     "SyntheticERIEngine",
+    "canonical_quartet",
+    "PairData",
+    "ShellPairData",
+    "build_pair_data",
     "eri_shell_quartet",
+    "eri_shell_quartet_batched",
     "eri_tensor",
     "eri_2center_block",
     "eri_3center_block",

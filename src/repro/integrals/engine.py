@@ -13,28 +13,163 @@ Engines provided:
   with the full 8-fold permutational symmetry and distance-based decay.
   They admit *closed-form* J/K contractions, so distributed Fock builds
   on medium-size systems can be validated exactly without O(n^4) work.
+
+Every engine can additionally carry a bounded LRU cache of *canonical*
+quartet blocks (:class:`QuartetCache`): ERIs are density-independent, so
+direct-SCF iterations after the first can be served transposed views of
+already-computed blocks instead of recomputing them.  The cache sits in
+the shared :meth:`ERIEngine.quartet` dispatch, so every engine passes
+through it unchanged; ``quartets_computed`` keeps counting only *real*
+computations (Table VII call-count benchmarks stay exact) while cache
+service is tallied separately in ``quartets_served_from_cache``.
 """
 
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 
 import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
 from repro.integrals.eri_md import eri_shell_quartet
 from repro.integrals.eri_os import eri_shell_quartet_os
+from repro.integrals.pairdata import ShellPairData, eri_shell_quartet_batched
 from repro.integrals.schwarz import schwarz_matrix, schwarz_model
+from repro.obs import get_metrics
+
+#: The 8 axis permutations of an (ab|cd) block (kept in sync with
+#: repro.scf.fock.EIGHT_PERMUTATIONS; duplicated to avoid a cycle).
+_EIGHT_PERMUTATIONS: tuple[tuple[int, int, int, int], ...] = (
+    (0, 1, 2, 3),
+    (1, 0, 2, 3),
+    (0, 1, 3, 2),
+    (1, 0, 3, 2),
+    (2, 3, 0, 1),
+    (3, 2, 0, 1),
+    (2, 3, 1, 0),
+    (3, 2, 1, 0),
+)
+
+_IDENTITY = (0, 1, 2, 3)
+
+
+def canonical_quartet(
+    m: int, n: int, p: int, q: int
+) -> tuple[tuple[int, int, int, int], tuple[int, int, int, int]]:
+    """The 8-fold-canonical form of a quartet and the restoring transpose.
+
+    Returns ``(key, perm)`` with ``key`` the canonical (bra-sorted,
+    ket-sorted, bra >= ket) index tuple and ``perm`` the axis permutation
+    such that ``np.transpose(block(key), perm)`` is the requested
+    ``block(m, n, p, q)`` (Eq 4's permutational symmetry).
+    """
+    bra = (m, n) if m >= n else (n, m)
+    ket = (p, q) if p >= q else (q, p)
+    key = bra + ket if bra >= ket else ket + bra
+    for perm in _EIGHT_PERMUTATIONS:
+        if (key[perm[0]], key[perm[1]], key[perm[2]], key[perm[3]]) == (m, n, p, q):
+            return key, perm
+    raise AssertionError("unreachable: canonical orbit must contain the quartet")
+
+
+class QuartetCache:
+    """Bounded LRU cache of canonical ERI quartet blocks.
+
+    Eviction is by total held bytes (``max_bytes``), least recently used
+    first.  Blocks are stored for the canonical index tuple only; all 8
+    permutation images are served as transposed *views* of the one stored
+    array, so callers must treat returned blocks as read-only (every Fock
+    builder in this library does).
+
+    Hit/miss/eviction counts and held bytes are mirrored to the
+    process-wide :mod:`repro.obs` metrics registry
+    (``repro_eri_cache_{hits,misses,evictions}_total`` and the
+    ``repro_eri_cache_bytes`` gauge).
+    """
+
+    def __init__(self, max_bytes: int):
+        if max_bytes <= 0:
+            raise ValueError(f"cache bound must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._blocks: OrderedDict[tuple[int, int, int, int], np.ndarray] = (
+            OrderedDict()
+        )
+        self.bytes_held = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, key: tuple[int, int, int, int]) -> np.ndarray | None:
+        """The cached canonical block, or None (counts a hit/miss)."""
+        block = self._blocks.get(key)
+        if block is None:
+            self.misses += 1
+            get_metrics().counter(
+                "repro_eri_cache_misses_total", "quartet cache misses"
+            ).inc()
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        get_metrics().counter(
+            "repro_eri_cache_hits_total", "quartet cache hits"
+        ).inc()
+        return block
+
+    def put(self, key: tuple[int, int, int, int], block: np.ndarray) -> None:
+        """Insert a canonical block, evicting LRU entries past the bound."""
+        if block.nbytes > self.max_bytes:
+            return  # single block exceeds the whole budget: never cacheable
+        self._blocks[key] = block
+        self._blocks.move_to_end(key)
+        self.bytes_held += block.nbytes
+        metrics = get_metrics()
+        while self.bytes_held > self.max_bytes:
+            _, old = self._blocks.popitem(last=False)
+            self.bytes_held -= old.nbytes
+            self.evictions += 1
+            metrics.counter(
+                "repro_eri_cache_evictions_total", "quartet cache evictions"
+            ).inc()
+        metrics.gauge(
+            "repro_eri_cache_bytes", "bytes held by the quartet cache"
+        ).set(self.bytes_held)
+
+    def clear(self) -> None:
+        self._blocks.clear()
+        self.bytes_held = 0
+
+    def stats(self) -> dict:
+        """Snapshot for reports/tests."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._blocks),
+            "bytes_held": self.bytes_held,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
 
 
 class ERIEngine(abc.ABC):
     """Interface between integral generation and Fock construction."""
 
-    def __init__(self, basis: BasisSet):
+    def __init__(self, basis: BasisSet, cache_mb: float | None = None):
         self.basis = basis
         self._schwarz: np.ndarray | None = None
-        #: number of quartet() calls served (used by benchmarks/tests)
+        #: number of quartet blocks actually computed (used by
+        #: benchmarks/tests; cache service is counted separately)
         self.quartets_computed = 0
+        #: number of quartet() calls answered from the LRU cache
+        self.quartets_served_from_cache = 0
+        self.quartet_cache: QuartetCache | None = None
+        if cache_mb is not None:
+            self.enable_quartet_cache(cache_mb)
 
     @abc.abstractmethod
     def _quartet(self, m: int, n: int, p: int, q: int) -> np.ndarray: ...
@@ -42,10 +177,36 @@ class ERIEngine(abc.ABC):
     @abc.abstractmethod
     def _build_schwarz(self) -> np.ndarray: ...
 
+    def enable_quartet_cache(self, max_mb: float = 32.0) -> QuartetCache:
+        """Attach a bounded LRU canonical-quartet cache (``max_mb`` MiB)."""
+        self.quartet_cache = QuartetCache(int(max_mb * 2**20))
+        return self.quartet_cache
+
+    def disable_quartet_cache(self) -> None:
+        self.quartet_cache = None
+
     def quartet(self, m: int, n: int, p: int, q: int) -> np.ndarray:
-        """ERI block (MN|PQ) for shell indices, basis-function shape."""
-        self.quartets_computed += 1
-        return self._quartet(m, n, p, q)
+        """ERI block (MN|PQ) for shell indices, basis-function shape.
+
+        With the quartet cache enabled, blocks are computed for the
+        canonical index tuple only and every permutation image is served
+        as a transposed view -- treat the result as read-only.
+        """
+        cache = self.quartet_cache
+        if cache is None:
+            self.quartets_computed += 1
+            return self._quartet(m, n, p, q)
+        key, perm = canonical_quartet(m, n, p, q)
+        block = cache.get(key)
+        if block is None:
+            self.quartets_computed += 1
+            block = self._quartet(*key)
+            cache.put(key, block)
+        else:
+            self.quartets_served_from_cache += 1
+        if perm == _IDENTITY:
+            return block
+        return np.transpose(block, perm)
 
     def schwarz(self) -> np.ndarray:
         """Shell-pair screening values sigma(M,N), cached."""
@@ -55,14 +216,36 @@ class ERIEngine(abc.ABC):
 
 
 class MDEngine(ERIEngine):
-    """Real ERIs via McMurchie-Davidson (production engine)."""
+    """Real ERIs via McMurchie-Davidson (production engine).
 
-    def __init__(self, basis: BasisSet, model_schwarz: bool = False):
-        super().__init__(basis)
+    By default quartets go through the batched primitive kernel fed by a
+    per-basis :class:`~repro.integrals.pairdata.ShellPairData` cache;
+    ``batched=False`` falls back to the seed per-primitive path (kept as
+    the cross-validation reference and for A/B benchmarking).
+    """
+
+    def __init__(
+        self,
+        basis: BasisSet,
+        model_schwarz: bool = False,
+        batched: bool = True,
+        cache_mb: float | None = None,
+    ):
+        super().__init__(basis, cache_mb=cache_mb)
         self.model_schwarz = model_schwarz
+        self.batched = batched
+        self.pair_cache: ShellPairData | None = (
+            ShellPairData(basis) if batched else None
+        )
 
     def _quartet(self, m: int, n: int, p: int, q: int) -> np.ndarray:
         sh = self.basis.shells
+        if self.pair_cache is not None:
+            return eri_shell_quartet_batched(
+                sh[m], sh[n], sh[p], sh[q],
+                bra=self.pair_cache.get(m, n),
+                ket=self.pair_cache.get(p, q),
+            )
         return eri_shell_quartet(sh[m], sh[n], sh[p], sh[q])
 
     def _build_schwarz(self) -> np.ndarray:

@@ -63,6 +63,22 @@ def _pair_hermite(sh_a: Shell, sh_b: Shell):
     return records, (tt, uu, vv)
 
 
+def finalize_quartet(out: np.ndarray, shells: tuple[Shell, Shell, Shell, Shell]) -> np.ndarray:
+    """Component normalization + spherical transform of a Cartesian block.
+
+    Shared tail of the per-primitive and batched quartet kernels so both
+    produce identically normalized blocks.
+    """
+    for axis, sh in enumerate(shells):
+        scales = np.array(
+            [component_scale(*c) for c in cartesian_components(sh.l)]
+        )
+        shape = [1, 1, 1, 1]
+        shape[axis] = len(scales)
+        out *= scales.reshape(shape)
+    return apply_transforms(out, shells)
+
+
 def eri_shell_quartet(
     sh_a: Shell, sh_b: Shell, sh_c: Shell, sh_d: Shell
 ) -> np.ndarray:
@@ -97,14 +113,7 @@ def eri_shell_quartet(
                 "abi,ij,cdj->abcd", Eab, rmat, Ecd, optimize=True
             )
 
-    for axis, sh in enumerate((sh_a, sh_b, sh_c, sh_d)):
-        scales = np.array(
-            [component_scale(*c) for c in cartesian_components(sh.l)]
-        )
-        shape = [1, 1, 1, 1]
-        shape[axis] = len(scales)
-        out *= scales.reshape(shape)
-    return apply_transforms(out, (sh_a, sh_b, sh_c, sh_d))
+    return finalize_quartet(out, (sh_a, sh_b, sh_c, sh_d))
 
 
 def eri_tensor(basis: BasisSet) -> np.ndarray:

@@ -26,7 +26,7 @@ def dense_fock_reference(
     j = np.zeros((n, n))
     k = np.zeros((n, n))
     ns = basis.nshells
-    slices = [basis.shell_slice(s) for s in range(ns)]
+    slices = basis.shell_slices
     for m in range(ns):
         for nn in range(ns):
             for p in range(ns):

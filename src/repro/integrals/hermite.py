@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from repro.integrals.boys import boys
+from repro.integrals.boys import boys, boys_array
 
 
 def e_coefficients(la: int, lb: int, a: float, b: float, ab_dist: float) -> np.ndarray:
@@ -127,3 +127,59 @@ def r_tensor(lmax: int, p: float, pq: np.ndarray) -> np.ndarray:
                             val += (v - 1) * rn[n + 1, t, u, v - 2]
                     rn[n, t, u, v] = val
     return rn[0]
+
+
+def r_tensor_batch(lmax: int, ps: np.ndarray, pqs: np.ndarray) -> np.ndarray:
+    """Hermite Coulomb integrals for a whole batch of composite centers.
+
+    The batched equivalent of :func:`r_tensor`: one Boys-function sweep
+    over every argument (``boys_array``), then the same upward recursion
+    with each (n, t, u, v) entry holding a length-``nq`` vector.  The
+    recursion loop count is independent of the batch size, so the Python
+    overhead is amortized over all primitive quartets of a shell quartet.
+
+    Parameters
+    ----------
+    lmax:
+        Maximum total Hermite order (shared by the batch).
+    ps:
+        Composite exponents, shape (nq,).
+    pqs:
+        Composite-center difference vectors, shape (nq, 3).
+
+    Returns
+    -------
+    R of shape (nq, lmax+1, lmax+1, lmax+1); entries with t+u+v > lmax
+    are 0.
+    """
+    ps = np.asarray(ps, dtype=float).ravel()
+    pqs = np.asarray(pqs, dtype=float).reshape(-1, 3)
+    nq = ps.size
+    x, y, z = pqs[:, 0], pqs[:, 1], pqs[:, 2]
+    r2 = x * x + y * y + z * z
+    fm = boys_array(lmax, ps * r2)  # (nq, lmax+1)
+    # batch axis last so each recursion entry is one contiguous vector
+    rn = np.zeros((lmax + 1, lmax + 1, lmax + 1, lmax + 1, nq))
+    scale = np.ones(nq)
+    for n in range(lmax + 1):
+        rn[n, 0, 0, 0] = scale * fm[:, n]
+        scale = scale * (-2.0 * ps)
+    for total in range(1, lmax + 1):
+        for n in range(lmax - total, -1, -1):
+            for t in range(total + 1):
+                for u in range(total - t + 1):
+                    v = total - t - u
+                    if t > 0:
+                        val = x * rn[n + 1, t - 1, u, v]
+                        if t > 1:
+                            val = val + (t - 1) * rn[n + 1, t - 2, u, v]
+                    elif u > 0:
+                        val = y * rn[n + 1, t, u - 1, v]
+                        if u > 1:
+                            val = val + (u - 1) * rn[n + 1, t, u - 2, v]
+                    else:
+                        val = z * rn[n + 1, t, u, v - 1]
+                        if v > 1:
+                            val = val + (v - 1) * rn[n + 1, t, u, v - 2]
+                    rn[n, t, u, v] = val
+    return np.moveaxis(rn[0], -1, 0)

@@ -2,10 +2,13 @@
 
 The simulated runtime demonstrates the algorithm at paper scale; this
 module demonstrates it *actually running in parallel* on the host: the
-same static partition and task machinery, with worker processes
-computing real ERIs and a final J/K reduction.  Useful both as a genuine
-speedup path for small molecules and as an end-to-end sanity check that
-the task decomposition parallelizes cleanly.
+same shell-pair task machinery, with worker processes computing real
+ERIs and a final J/K reduction.  Tasks are cost-sorted (vectorized
+quartet cost matrix) and dealt into more chunks than workers, consumed
+via ``imap_unordered`` for dynamic balancing -- the host-pool analogue
+of the paper's work-stealing over a static partition.  Useful both as a
+genuine speedup path for small molecules and as an end-to-end sanity
+check that the task decomposition parallelizes cleanly.
 
 Workers inherit the engine through ``fork`` (no per-task pickling); each
 worker accumulates a private J/K pair over its task list, and partial
@@ -19,7 +22,7 @@ import os
 
 import numpy as np
 
-from repro.fock.partition import StaticPartition
+from repro.fock.cost import quartet_cost_matrix
 from repro.fock.screening_map import ScreeningMap
 from repro.fock.tasks import enumerate_task_quartets
 from repro.integrals.engine import ERIEngine
@@ -43,7 +46,7 @@ def _run_tasks(tasks: list[tuple[int, int]]) -> tuple[np.ndarray, np.ndarray]:
     n = basis.nbf
     j = np.zeros((n, n))
     k = np.zeros((n, n))
-    slices = [basis.shell_slice(s) for s in range(basis.nshells)]
+    slices = basis.shell_slices
     for m, nn in tasks:
         for (mm, pp, nq, qq) in enumerate_task_quartets(screen, m, nn):
             block = engine.quartet(mm, pp, nq, qq)
@@ -54,14 +57,41 @@ def _run_tasks(tasks: list[tuple[int, int]]) -> tuple[np.ndarray, np.ndarray]:
     return j, k
 
 
+def _cost_sorted_chunks(
+    screen: ScreeningMap, nchunks: int
+) -> list[list[tuple[int, int]]]:
+    """Shell-pair tasks dealt into ``nchunks`` cost-balanced chunks.
+
+    Tasks are sorted by descending estimated ERI count and dealt
+    round-robin, so every chunk mixes expensive and cheap tasks and no
+    single chunk concentrates the hot shell pairs the way contiguous
+    static blocks do.
+    """
+    costs = quartet_cost_matrix(screen)
+    ns = screen.nshells
+    tasks = [(m, n) for m in range(ns) for n in range(ns)]
+    tasks.sort(key=lambda t: -costs.eris[t[0], t[1]])
+    chunks: list[list[tuple[int, int]]] = [[] for _ in range(nchunks)]
+    for i, task in enumerate(tasks):
+        chunks[i % nchunks].append(task)
+    return [c for c in chunks if c]
+
+
 def parallel_build_jk(
     engine: ERIEngine,
     density: np.ndarray,
     tau: float = 1e-11,
     nworkers: int | None = None,
     screen: ScreeningMap | None = None,
+    chunks_per_worker: int = 4,
 ) -> tuple[np.ndarray, np.ndarray]:
     """J and K via a pool of worker processes over shell-pair tasks.
+
+    Tasks are cost-sorted and dealt into ``chunks_per_worker * nworkers``
+    chunks consumed with ``imap_unordered``, so idle workers pick up
+    remaining chunks dynamically instead of the pool being gated on the
+    most expensive static block; partial J/K results are reduced as they
+    arrive.
 
     Parent-side phases (screening, partition, the pool map itself, and
     the J/K reduction) are wall-clock spans on the active tracer; worker
@@ -79,8 +109,9 @@ def parallel_build_jk(
             nworkers = max(1, min(os.cpu_count() or 1, 8))
         top["nworkers"] = nworkers
         with tracer.span("partition", cat="parallel"):
-            part = StaticPartition.build(basis.nshells, nworkers)
-            chunks = [part.task_block(p).tasks() for p in range(part.nproc)]
+            chunks = _cost_sorted_chunks(
+                screen, max(1, nworkers * chunks_per_worker)
+            )
         top["ntasks"] = sum(len(c) for c in chunks)
 
         if nworkers == 1:
@@ -89,6 +120,9 @@ def parallel_build_jk(
                 j, k = _run_tasks([t for chunk in chunks for t in chunk])
             return j, k
 
+        n = basis.nbf
+        j = np.zeros((n, n))
+        k = np.zeros((n, n))
         with tracer.span("pool_map", cat="parallel", nworkers=nworkers):
             ctx = mp.get_context("fork")
             with ctx.Pool(
@@ -96,14 +130,10 @@ def parallel_build_jk(
                 initializer=_init_worker,
                 initargs=(engine, screen, density),
             ) as pool:
-                parts = pool.map(_run_tasks, chunks)
-        with tracer.span("reduce", cat="parallel"):
-            n = basis.nbf
-            j = np.zeros((n, n))
-            k = np.zeros((n, n))
-            for jp, kp in parts:
-                j += jp
-                k += kp
+                # reduce partials as they arrive, in completion order
+                for jp, kp in pool.imap_unordered(_run_tasks, chunks):
+                    j += jp
+                    k += kp
         return j, k
 
 

@@ -95,7 +95,7 @@ def scatter_quartet(
         J[a,b] += sum_cd (ab|cd) D[c,d]
         K[a,c] += sum_bd (ab|cd) D[b,d]
     """
-    slices = [basis.shell_slice(s) for s in range(basis.nshells)]
+    slices = basis.shell_slices
     for (a, b, c, d), blk in orbit_images(quartet, block):
         sa, sb, sc, sd = slices[a], slices[b], slices[c], slices[d]
         j[sa, sb] += np.einsum("abcd,cd->ab", blk, density[sc, sd])

@@ -75,6 +75,11 @@ class RHF:
         Build the two-electron part from density differences
         (:class:`~repro.scf.incremental.IncrementalFockBuilder`): late
         iterations screen away almost all quartets.
+    cache_mb:
+        When set, enable the engine's bounded LRU canonical-quartet
+        cache with this memory budget (MiB): ERIs are density
+        independent, so every direct-SCF iteration after the first
+        serves its quartets from the cache instead of recomputing them.
     """
 
     molecule: Molecule
@@ -84,6 +89,7 @@ class RHF:
     use_diis: bool = True
     density_method: str = "diagonalize"
     incremental: bool = False
+    cache_mb: float | None = None
     max_iter: int = 100
     e_tol: float = 1e-9
     d_tol: float = 1e-7
@@ -102,6 +108,8 @@ class RHF:
         )
         if self.engine is None:
             self.engine = MDEngine(self.basis)
+        if self.cache_mb is not None and self.engine.quartet_cache is None:
+            self.engine.enable_quartet_cache(self.cache_mb)
         self.nocc = self.molecule.nelectrons // 2
         if self.nocc > self.basis.nbf:
             raise ValueError(
