@@ -1,11 +1,65 @@
-"""Table III: Fock construction time, GTFock vs NWChem, over core counts."""
+"""Table III: Fock construction time, GTFock vs NWChem, over core counts.
+
+Each full run appends one datapoint to ``BENCH_fock.json`` at the repo
+root -- the Fock-simulation perf trajectory future PRs extend (wall time
+of the sweep plus, per molecule, the simulated max-core Fock times and
+the GTFock/NWChem ratio).  Run as a pytest benchmark or as a script;
+``--quick`` skips the history file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
 
 from repro.bench.experiments import table3_times
 
+HISTORY_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_fock.json"
 
-def test_bench_table3(benchmark, emit):
-    report = benchmark.pedantic(table3_times, rounds=1, iterations=1)
-    emit(report)
+
+def run_table3_bench() -> tuple[dict, object]:
+    """One measurement: the Table III sweep, timed, summarized."""
+    t0 = time.perf_counter()
+    report = table3_times()
+    wall = time.perf_counter() - t0
+    entry: dict = {
+        "benchmark": "fock_table3",
+        "wall_s": round(wall, 3),
+        "molecules": {},
+    }
+    for mol, algs in report.data.items():
+        cores = sorted(algs["gtfock"])
+        hi = cores[-1]
+        entry["molecules"][mol] = {
+            "max_cores": hi,
+            "t_gtfock_s": algs["gtfock"][hi],
+            "t_nwchem_s": algs["nwchem"][hi],
+            "ratio_gtfock_over_nwchem": round(
+                algs["gtfock"][hi] / algs["nwchem"][hi], 4
+            ),
+        }
+    return entry, report
+
+
+def append_history(entry: dict, path: pathlib.Path = HISTORY_PATH) -> None:
+    """Append one datapoint to the BENCH_fock.json trajectory."""
+    entry = dict(entry, timestamp=time.strftime("%Y-%m-%dT%H:%M:%S"))
+    if path.exists():
+        doc = json.loads(path.read_text())
+    else:
+        doc = {
+            "description": "Fock-simulation perf trajectory "
+            "(see docs/PERFORMANCE.md)",
+            "history": [],
+        }
+    doc["history"].append(entry)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def check_report(report) -> None:
+    """The Table III shape targets (unchanged from the seed benchmark)."""
     for mol, algs in report.data.items():
         cores = sorted(algs["gtfock"])
         # shape target: NWChem faster at the smallest core count ...
@@ -16,3 +70,25 @@ def test_bench_table3(benchmark, emit):
         # both scale: max-core time well below min-core time
         for alg in ("gtfock", "nwchem"):
             assert algs[alg][cores[-1]] < algs[alg][cores[0]] / 50
+
+
+def test_bench_table3(benchmark, emit):
+    entry, report = benchmark.pedantic(run_table3_bench, rounds=1, iterations=1)
+    emit(report)
+    check_report(report)
+    append_history(entry)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    entry, report = run_table3_bench()
+    print(report.text)
+    check_report(report)
+    if not quick:
+        append_history(entry)
+        print(f"appended datapoint to {HISTORY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -212,22 +212,36 @@ def table6_volume(cores: tuple[int, ...] = CORE_COUNTS) -> ExperimentReport:
         data[setup.name] = {
             alg: {c: r.comm_mb_per_proc for c, r in res[alg].items()} for alg in res
         }
+        data[setup.name]["gtfock_steal_mb"] = {
+            c: _steal_mb(res["gtfock"][c]) for c in cores
+        }
         for c in cores:
             rows.append(
                 [
                     setup.name,
                     c,
                     res["gtfock"][c].comm_mb_per_proc,
+                    _steal_mb(res["gtfock"][c]),
                     res["nwchem"][c].comm_mb_per_proc,
                 ]
             )
     text = format_table(
-        ["Molecule", "Cores", "GTFock MB/proc", "NWChem MB/proc"],
+        ["Molecule", "Cores", "GTFock MB/proc", "  of it steal MB", "NWChem MB/proc"],
         rows,
         title="Table VI: average communication volume per process",
         floatfmt="{:.1f}",
     )
     return ExperimentReport("table6", data, text)
+
+
+def _steal_mb(r) -> float:
+    """Average per-process MB on the steal channels (flight recorder)."""
+    nbytes = sum(
+        v
+        for ch, v in r.comm_by_channel.items()
+        if ch in ("steal_d", "steal_f")
+    )
+    return nbytes / 1e6 / max(r.nproc, 1)
 
 
 def table7_calls(cores: tuple[int, ...] = CORE_COUNTS) -> ExperimentReport:

@@ -6,6 +6,7 @@ scf MOLECULE [--basis NAME]     run RHF on a built-in molecule
 table{2..9} / fig1 / fig2       regenerate one evaluation artifact
 model                           Sec III-G performance-model analysis
 ablation {reorder,steal,grain}  design-choice ablations
+report MOLECULE [--out PATH]    self-contained HTML run report
 list                            list built-in molecules and bases
 
 Every command accepts ``--trace PATH`` (Chrome trace-event JSON --
@@ -106,6 +107,28 @@ def _run_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import run_report, write_report
+
+    report, _result = run_report(
+        molecule=args.molecule,
+        basis_name=args.basis,
+        nproc=args.nproc,
+        with_trace=not args.no_embedded_trace,
+    )
+    write_report(args.out, report)
+    print(report.validation.text())
+    print(f"report written to {args.out}")
+    if args.check and not report.validation.passed:
+        print(
+            "model validation FAILED (a deviation exceeded its fail "
+            "threshold; see docs/OBSERVABILITY.md)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_list() -> int:
     print("paper molecules :", ", ".join(sorted(PAPER_MOLECULES)))
     print("scaled stand-ins:", ", ".join(sorted(SCALED_MOLECULES)))
@@ -157,6 +180,26 @@ def main(argv: list[str] | None = None) -> int:
     p_abl.add_argument("kind", choices=["reorder", "steal", "grain"])
     p_abl.add_argument("--molecule", default="C24H12")
 
+    p_rep = sub.add_parser(
+        "report",
+        help="run a numeric Fock build and write an HTML run report",
+        parents=[obs_flags],
+    )
+    p_rep.add_argument("molecule", nargs="?", default="water")
+    p_rep.add_argument("--basis", default="6-31g")
+    p_rep.add_argument("--nproc", type=int, default=4)
+    p_rep.add_argument("--out", default="run-report.html", metavar="PATH")
+    p_rep.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero if any model-vs-measured deviation FAILs",
+    )
+    p_rep.add_argument(
+        "--no-embedded-trace",
+        action="store_true",
+        help="skip embedding the Perfetto trace in the report",
+    )
+
     sub.add_parser(
         "list", help="list built-in molecules and bases", parents=[obs_flags]
     )
@@ -165,7 +208,8 @@ def main(argv: list[str] | None = None) -> int:
 
     # fail fast on unwritable output paths -- a long run must not end
     # in a traceback with its trace/metrics lost
-    for path in (args.trace, args.metrics):
+    out_path = getattr(args, "out", None)
+    for path in (args.trace, args.metrics, out_path):
         if path:
             parent = os.path.dirname(path) or "."
             if not os.path.isdir(parent):
@@ -183,6 +227,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_scf(args)
         if args.command == "ablation":
             return _run_ablation(args)
+        if args.command == "report":
+            return _run_report(args)
         if args.command == "list":
             return _run_list()
         return _run_experiment(args.command)

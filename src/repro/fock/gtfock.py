@@ -29,12 +29,17 @@ import numpy as np
 
 from repro.fock.cost import TaskCosts, quartet_cost_matrix
 from repro.fock.partition import StaticPartition
-from repro.fock.prefetch import block_footprint, footprint_bounding_boxes
+from repro.fock.prefetch import (
+    block_footprint,
+    footprint_bounding_boxes,
+    footprint_element_mask,
+)
 from repro.fock.screening_map import ScreeningMap
 from repro.fock.stealing import StealingOutcome, run_work_stealing
 from repro.fock.tasks import enumerate_task_quartets
 from repro.integrals.engine import ERIEngine
 from repro.obs import Tracer, get_tracer
+from repro.obs.flight import CH_FOCK_ACC, CH_PREFETCH_GET, CH_STEAL_F
 from repro.runtime.ga import GlobalArray
 from repro.runtime.machine import LONESTAR, MachineConfig
 from repro.runtime.network import CommStats
@@ -129,16 +134,18 @@ def gtfock_build(
             slices = basis.shell_slices
 
         # -- prefetch phase (Algorithm 4, line 3) ----------------------------
+        own_masks: list[np.ndarray] = []
         with tracer.span("prefetch", cat="fock"):
             for p in range(nproc):
                 clock0 = float(stats.clock[p])
                 fp = block_footprint(screen, part.task_block(p))
+                own_masks.append(footprint_element_mask(fp, basis))
                 boxes = footprint_bounding_boxes(fp)
                 for r0, r1, c0, c1 in boxes:
                     fr0, fr1 = int(offsets[r0]), int(offsets[r1])
                     fc0, fc1 = int(offsets[c0]), int(offsets[c1])
                     bufs[p].d_local[fr0:fr1, fc0:fc1] = ga_d.get(
-                        p, fr0, fr1, fc0, fc1
+                        p, fr0, fr1, fc0, fc1, channel=CH_PREFETCH_GET
                     )
                     bufs[p].have[fr0:fr1, fc0:fc1] = True
                 tracer.virtual_span(
@@ -184,11 +191,7 @@ def gtfock_build(
                 return 0.0
             seen_victims.add((thief, victim))
             nbytes = int(bufs[victim].have.sum()) * config.element_size
-            stats.calls[thief] += 1
-            stats.bytes[thief] += nbytes
-            stats.remote_calls[thief] += 1
-            stats.remote_bytes[thief] += nbytes
-            return config.transfer_time(nbytes, 1)
+            return stats.charge_steal(thief, nbytes, ncalls=1)
 
         with tracer.span("schedule", cat="fock"):
             queues = [part.task_block(p).tasks() for p in range(nproc)]
@@ -206,15 +209,28 @@ def gtfock_build(
 
         # -- final flush (Algorithm 4, line 9) --------------------------------
         with tracer.span("flush", cat="fock"):
+
+            def acc_bbox(p: int, g: np.ndarray, channel: str) -> None:
+                nz = np.nonzero(g)
+                if nz[0].size == 0:
+                    return
+                r0, r1 = int(nz[0].min()), int(nz[0].max()) + 1
+                c0, c1 = int(nz[1].min()), int(nz[1].max()) + 1
+                ga_g.acc(p, r0, c0, g[r0:r1, c0:c1], channel=channel)
+
             for p in range(nproc):
                 clock0 = float(stats.clock[p])
                 g = 2.0 * bufs[p].j - bufs[p].k
-                nz = np.nonzero(np.abs(g) > 0.0)
-                if nz[0].size == 0:
+                if not g.any():
                     continue
-                r0, r1 = int(nz[0].min()), int(nz[0].max()) + 1
-                c0, c1 = int(nz[1].min()), int(nz[1].max()) + 1
-                ga_g.acc(p, r0, c0, g[r0:r1, c0:c1])
+                # attribute the flush: contributions inside this process's
+                # own static-partition footprint are the ordinary F
+                # accumulate; anything outside can only come from stolen
+                # tasks and goes out on its own channel (non-thieves emit
+                # exactly the single acc they always did)
+                own = own_masks[p]
+                acc_bbox(p, np.where(own, g, 0.0), CH_FOCK_ACC)
+                acc_bbox(p, np.where(own, 0.0, g), CH_STEAL_F)
                 tracer.virtual_span(
                     "flush", p, clock0, float(stats.clock[p]), cat="comm"
                 )

@@ -23,6 +23,7 @@ from repro.fock.centralized import CentralizedOutcome, run_centralized
 from repro.fock.screening_map import ScreeningMap
 from repro.fock.tasks import NWChemTask, atom_quartet_shell_quartets, nwchem_task_list
 from repro.integrals.engine import ERIEngine
+from repro.obs.flight import CH_FOCK_ACC, CH_TASK_GET
 from repro.runtime.ga import GlobalArray, block_bounds
 from repro.runtime.machine import LONESTAR, MachineConfig
 from repro.runtime.network import CommStats
@@ -111,7 +112,7 @@ def nwchem_build(
             i, jj, k = task.i_at, task.j_at, task.k_at
             for (a, b) in ((i, jj), (k, l_at), (i, k), (jj, l_at), (i, l_at), (jj, k)):
                 (r0, r1), (c0, c1) = aranges[a], aranges[b]
-                ga_d.get(proc, r0, r1, c0, c1)
+                ga_d.get(proc, r0, r1, c0, c1, channel=CH_TASK_GET)
 
     # local accumulation buffer per process; flushed per task region
     jbuf = [np.zeros((nbf, nbf)) for _ in range(nproc)]
@@ -136,7 +137,7 @@ def nwchem_build(
         for (a_at, b_at) in atom_pairs:
             (r0, r1), (c0, c1) = aranges[a_at], aranges[b_at]
             g = 2.0 * jbuf[proc][r0:r1, c0:c1] - kbuf[proc][r0:r1, c0:c1]
-            ga_g.acc(proc, r0, c0, g)
+            ga_g.acc(proc, r0, c0, g, channel=CH_FOCK_ACC)
             jbuf[proc][r0:r1, c0:c1] = 0.0
             kbuf[proc][r0:r1, c0:c1] = 0.0
 

@@ -90,6 +90,20 @@ def task_footprint_elements(screen: ScreeningMap, m: int, n: int) -> int:
     return block_footprint(screen, TaskBlock(m, m + 1, n, n + 1)).elements
 
 
+def footprint_element_mask(fp: Footprint, basis) -> np.ndarray:
+    """Symmetrized element-level (nbf, nbf) mask of a footprint.
+
+    Expands the shell-pair union (rows | cols | cross) to basis-function
+    granularity and symmetrizes it, matching how the numeric build's F
+    contributions land on both (i, j) and (j, i).  Used to attribute a
+    thief's F flush to its own static footprint vs stolen work.
+    """
+    sizes = basis.shell_sizes().astype(np.int64)
+    union = fp.row_pairs | fp.col_pairs | np.outer(fp.phi_rows, fp.phi_cols)
+    m = np.repeat(np.repeat(union, sizes, axis=0), sizes, axis=1)
+    return m | m.T
+
+
 def footprint_bounding_boxes(fp: Footprint) -> list[tuple[int, int, int, int]]:
     """Bounding rectangles (shell index space) of the three fetch regions.
 

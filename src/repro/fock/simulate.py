@@ -27,6 +27,7 @@ from repro.fock.partition import StaticPartition
 from repro.fock.prefetch import block_footprint, ga_calls_for_footprint
 from repro.fock.screening_map import ScreeningMap
 from repro.fock.stealing import run_work_stealing
+from repro.obs.flight import CH_FOCK_ACC, CH_PREFETCH_GET, CH_TASK_GET
 from repro.runtime.machine import LONESTAR, MachineConfig
 from repro.runtime.network import CommStats
 
@@ -62,6 +63,8 @@ class FockSimResult:
     ntasks: int = 0
     #: :meth:`CommStats.summary` of the run (volume, calls, load balance)
     comm_summary: dict = field(default_factory=dict)
+    #: all-rank bytes per flight-recorder channel (Table VI decomposition)
+    comm_by_channel: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -94,6 +97,7 @@ def _finalize(
         comm_mb_per_proc=stats.volume_mb_per_process(),
         ga_calls_per_proc=stats.calls_per_process(),
         comm_summary=stats.summary(),
+        comm_by_channel=stats.flight.channel_totals("bytes"),
         **extra,
     )
 
@@ -132,7 +136,9 @@ def simulate_gtfock(
         )
         nbytes = fp.elements * config.element_size
         footprint_bytes[p] = nbytes
-        stats.charge_comm(p, nbytes, ncalls=calls, remote=True)
+        stats.charge_comm(
+            p, nbytes, ncalls=calls, remote=True, channel=CH_PREFETCH_GET
+        )
 
     # -- work-stealing execution over per-task costs ------------------------
     t_task = config.t_int_gtfock / threads
@@ -151,11 +157,7 @@ def simulate_gtfock(
             return 0.0
         seen_victims.add((thief, victim))
         nbytes = footprint_bytes[victim]
-        stats.calls[thief] += 1
-        stats.bytes[thief] += int(nbytes)
-        stats.remote_calls[thief] += 1
-        stats.remote_bytes[thief] += int(nbytes)
-        return config.transfer_time(nbytes, 1)
+        return stats.charge_steal(thief, nbytes, ncalls=1)
 
     queues = []
     for p in range(nproc):
@@ -179,7 +181,10 @@ def simulate_gtfock(
     for p in range(nproc):
         fp_calls = 3  # three near-contiguous F regions accumulated back
         dt = config.transfer_time(footprint_bytes[p], fp_calls)
-        stats.charge_comm(p, footprint_bytes[p], ncalls=fp_calls, remote=True)
+        stats.charge_comm(
+            p, footprint_bytes[p], ncalls=fp_calls, remote=True,
+            channel=CH_FOCK_ACC,
+        )
         finish[p] += dt
 
     return _finalize(
@@ -226,7 +231,9 @@ def simulate_nwchem(
         nbytes = float(arrays.comm_bytes[tid])
         ncalls = int(arrays.comm_calls[tid])
         if ncalls:
-            stats.charge_comm(proc, nbytes, ncalls=ncalls, remote=True)
+            stats.charge_comm(
+                proc, nbytes, ncalls=ncalls, remote=True, channel=CH_TASK_GET
+            )
 
     outcome = run_centralized(
         list(range(arrays.ntasks)), nproc, stats, cost_of, comm_of=comm_of

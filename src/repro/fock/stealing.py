@@ -22,6 +22,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.obs import Tracer, get_tracer
+from repro.obs.flight import CH_QUEUE, CH_STEAL_TASK
 from repro.runtime.event import EventQueue
 from repro.runtime.network import CommStats
 
@@ -181,6 +182,8 @@ def run_work_stealing(
         costs = [cost_of(t) for t in queues[p]]
         end = states[p].begin(list(queues[p]), costs, start)
         queue_ops[p] += 1  # one atomic enqueue of the whole initial block
+        if stats is not None:
+            stats.flight.record_op(p, CH_QUEUE)
         events.schedule(end, p)
 
     def commit(proc: int, tasks: list[Any], costs: list[float]) -> None:
@@ -218,6 +221,8 @@ def run_work_stealing(
         if enable_stealing:
             for victim in scan_orders[p]:
                 queue_ops[p] += 1  # probe the victim's queue
+                if stats is not None:
+                    stats.flight.record_op(p, CH_STEAL_TASK)
                 probes += 1
                 vs = states[victim]
                 if not vs.active:
@@ -235,6 +240,8 @@ def run_work_stealing(
                 vs.costs = vs.costs[:cut]
                 vs.cum = vs.cum[:cut]
                 queue_ops[victim] += 1  # atomic update of victim queue
+                if stats is not None:
+                    stats.flight.record_op(victim, CH_STEAL_TASK)
                 new_victim_end = vs.start + (vs.cum[-1] if vs.cum else 0.0)
                 events.schedule(max(new_victim_end, t), victim)
                 if on_steal is not None:

@@ -108,6 +108,18 @@ class PerfModel:
         """Eq (11): L(p) = T_comm(p) / T_comp(p)."""
         return self.t_comm(p) / self.t_comp(p)
 
+    def predictions(self, p: int) -> dict[str, float]:
+        """Every Eq (6)-(11) prediction at ``p``, keyed for validation."""
+        return {
+            "t_comp": self.t_comp(p),
+            "v1_elements": self.v1(p),
+            "v2_elements": self.v2(p),
+            "volume_elements": self.volume(p),
+            "volume_mb": self.volume(p) * self.element_size / 1e6,
+            "t_comm": self.t_comm(p),
+            "overhead_ratio": self.overhead_ratio(p),
+        }
+
     def overhead_ratio_closed_form(self, p: int) -> float:
         """Eq (11) in closed form (must equal :meth:`overhead_ratio`)."""
         self._check_p(p)

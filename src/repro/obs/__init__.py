@@ -8,7 +8,12 @@ Tables VI-VIII and Figure 2 are all observability artifacts.  Two parts:
   Chrome trace-event JSON (open in Perfetto) or JSONL;
 * :mod:`repro.obs.metrics` -- :class:`MetricsRegistry` of labelled
   Counters/Gauges/Histograms with JSON + Prometheus exposition, and the
-  :func:`export_commstats` bridge from the runtime's accounting.
+  :func:`export_commstats` bridge from the runtime's accounting;
+* :mod:`repro.obs.flight` -- the per-rank, per-channel
+  :class:`FlightRecorder` every :class:`CommStats` charge flows through;
+* :mod:`repro.obs.validate` / :mod:`repro.obs.report` -- Sec III-G
+  model-vs-measured validation and the self-contained HTML run report
+  (``repro report``).
 
 Both default to process-wide singletons (:func:`get_tracer` /
 :func:`get_metrics`); the default tracer is a no-op so instrumented code
@@ -17,6 +22,11 @@ pays nothing until ``--trace`` (or :func:`set_tracer`) turns it on.
 See ``docs/OBSERVABILITY.md`` for the span schema and metric names.
 """
 
+from repro.obs.flight import (
+    CHANNELS,
+    FlightEvent,
+    FlightRecorder,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -40,6 +50,9 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CHANNELS",
+    "FlightEvent",
+    "FlightRecorder",
     "Counter",
     "Gauge",
     "Histogram",

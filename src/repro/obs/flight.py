@@ -1,0 +1,298 @@
+"""Per-rank, per-channel flight recorder for the simulated runtime.
+
+The paper's evidence is *per-process* accounting: communication volumes
+(Table VI), one-sided call counts (Table VII), load balance (Table VIII),
+and the Sec III-G model that predicts them.  :class:`CommStats` keeps the
+global totals; this module splits every charge by **channel** -- the
+semantic kind of traffic -- so a run can answer "which rank, which
+channel, how far off the model?".
+
+Channel taxonomy (see ``docs/OBSERVABILITY.md``):
+
+=============== ============================================================
+channel         traffic
+=============== ============================================================
+``prefetch_get`` GTFock's one-time D-footprint fetch (Algorithm 4, line 3)
+``task_get``     NWChem's per-task D atom-block fetches (Algorithm 2)
+``fock_acc``     accumulation of local J/K contributions into distributed F
+``steal_d``      the victim's D-buffer copy paid on a first steal (Eq 9's s)
+``steal_f``      a thief's F flush outside its own static-partition footprint
+``steal_task``   queue atomics of the steal protocol (ops, no payload bytes)
+``queue``        local task-queue atomics outside a steal
+``counter``      ``NGA_Read_inc`` hits on the centralized scheduler counter
+``barrier`` / ``allreduce`` / ``broadcast`` / ``reduce_scatter``  collectives
+``ga``           untagged :class:`GlobalArray` traffic (default channel)
+=============== ============================================================
+
+Two invariants make the recorder trustworthy (tested in
+``tests/test_flight.py`` and revalidated by every run report):
+
+* **exact decomposition** -- per rank, ``msgs`` and ``bytes`` summed over
+  channels equal ``CommStats.calls`` / ``CommStats.bytes`` exactly: every
+  counted call is tagged once, no call is tagged twice;
+* **ops are separate** -- scheduler atomics that the paper does *not*
+  count as one-sided GA calls (queue probes, steal transactions) live in
+  the ``ops`` field and never contaminate the Table VI/VII counters.
+
+The recorder also keeps a bounded ring buffer of the most recent events
+(the "flight recorder" proper) for timeline views; overflow drops the
+oldest events and counts them in :attr:`FlightRecorder.dropped_events`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+#: GTFock prefetch of the D footprint.
+CH_PREFETCH_GET = "prefetch_get"
+#: NWChem per-task D fetches (no prefetch is possible, Sec II-F).
+CH_TASK_GET = "task_get"
+#: Accumulate local J/K contributions into the distributed F.
+CH_FOCK_ACC = "fock_acc"
+#: Task descriptors moved by the steal protocol (queue atomics).
+CH_STEAL_TASK = "steal_task"
+#: Victim D-buffer copy on a first steal from a victim.
+CH_STEAL_D = "steal_d"
+#: Thief F traffic outside its own static-partition footprint.
+CH_STEAL_F = "steal_f"
+#: Local queue atomics outside the steal protocol.
+CH_QUEUE = "queue"
+#: Centralized-scheduler shared-counter accesses.
+CH_COUNTER = "counter"
+CH_BARRIER = "barrier"
+CH_ALLREDUCE = "allreduce"
+CH_BROADCAST = "broadcast"
+CH_REDUCE_SCATTER = "reduce_scatter"
+#: Default for untagged GlobalArray access.
+CH_GA = "ga"
+
+#: Canonical report ordering of every known channel.
+CHANNELS = (
+    CH_PREFETCH_GET,
+    CH_TASK_GET,
+    CH_FOCK_ACC,
+    CH_STEAL_D,
+    CH_STEAL_F,
+    CH_STEAL_TASK,
+    CH_QUEUE,
+    CH_COUNTER,
+    CH_BARRIER,
+    CH_ALLREDUCE,
+    CH_BROADCAST,
+    CH_REDUCE_SCATTER,
+    CH_GA,
+)
+
+_FIELDS = ("msgs", "bytes", "time", "ops")
+
+
+@dataclass
+class FlightEvent:
+    """One entry of the bounded event ring."""
+
+    t: float
+    rank: int
+    channel: str
+    nbytes: int
+    ncalls: int
+    dt: float
+
+    def to_json(self) -> dict:
+        return {
+            "t": self.t,
+            "rank": self.rank,
+            "channel": self.channel,
+            "bytes": self.nbytes,
+            "calls": self.ncalls,
+            "dt": self.dt,
+        }
+
+
+class _ChannelCounters:
+    """Per-rank counters of one channel."""
+
+    __slots__ = ("msgs", "bytes", "time", "ops")
+
+    def __init__(self, nproc: int):
+        self.msgs = np.zeros(nproc, dtype=np.int64)
+        self.bytes = np.zeros(nproc, dtype=np.int64)
+        self.time = np.zeros(nproc)
+        self.ops = np.zeros(nproc, dtype=np.int64)
+
+
+class FlightRecorder:
+    """Per-rank, per-channel message/byte/time accounting + event ring.
+
+    Parameters
+    ----------
+    nproc:
+        Number of simulated ranks.
+    max_events:
+        Ring-buffer capacity; 0 disables event capture entirely (the
+        per-channel counter matrix is always maintained).
+    """
+
+    def __init__(self, nproc: int, max_events: int = 4096):
+        if nproc < 1:
+            raise ValueError(f"need at least one rank, got {nproc}")
+        self.nproc = nproc
+        self.max_events = int(max_events)
+        self._channels: dict[str, _ChannelCounters] = {}
+        self._ring: deque[FlightEvent] = deque(maxlen=max(self.max_events, 0))
+        self.dropped_events = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def _counters(self, channel: str) -> _ChannelCounters:
+        c = self._channels.get(channel)
+        if c is None:
+            c = _ChannelCounters(self.nproc)
+            self._channels[channel] = c
+        return c
+
+    def record(
+        self,
+        rank: int,
+        channel: str,
+        nbytes: int,
+        ncalls: int,
+        dt: float,
+        t: float = 0.0,
+    ) -> None:
+        """Account a counted communication operation (a GA call)."""
+        c = self._counters(channel)
+        c.msgs[rank] += ncalls
+        c.bytes[rank] += int(nbytes)
+        c.time[rank] += dt
+        if self.max_events > 0:
+            if len(self._ring) == self.max_events:
+                self.dropped_events += 1
+            self._ring.append(
+                FlightEvent(float(t), rank, channel, int(nbytes), int(ncalls), dt)
+            )
+
+    def record_op(self, rank: int, channel: str, nops: int = 1) -> None:
+        """Account scheduler atomics that are *not* one-sided GA calls."""
+        self._counters(channel).ops[rank] += nops
+
+    # -- queries -------------------------------------------------------------
+
+    def channels(self) -> list[str]:
+        """Channels seen so far, in canonical report order."""
+        seen = set(self._channels)
+        ordered = [ch for ch in CHANNELS if ch in seen]
+        ordered += sorted(seen - set(CHANNELS))
+        return ordered
+
+    def events(self) -> list[FlightEvent]:
+        return list(self._ring)
+
+    def per_rank(self, channel: str, field: str = "bytes") -> np.ndarray:
+        """Per-rank values of one channel (zeros if never recorded)."""
+        if field not in _FIELDS:
+            raise ValueError(f"unknown field {field!r}; one of {_FIELDS}")
+        c = self._channels.get(channel)
+        if c is None:
+            dtype = float if field == "time" else np.int64
+            return np.zeros(self.nproc, dtype=dtype)
+        return getattr(c, field).copy()
+
+    def matrix(self, field: str = "bytes") -> tuple[list[str], np.ndarray]:
+        """``(channels, values)`` with ``values[rank, channel]``."""
+        chans = self.channels()
+        if not chans:
+            return [], np.zeros((self.nproc, 0))
+        out = np.stack([self.per_rank(ch, field) for ch in chans], axis=1)
+        return chans, out
+
+    def totals(self, field: str = "bytes") -> np.ndarray:
+        """Per-rank totals over all channels."""
+        _, m = self.matrix(field)
+        if m.size == 0:
+            dtype = float if field == "time" else np.int64
+            return np.zeros(self.nproc, dtype=dtype)
+        return m.sum(axis=1)
+
+    def channel_totals(self, field: str = "bytes") -> dict[str, float]:
+        """All-rank total per channel."""
+        return {
+            ch: (
+                float(self.per_rank(ch, field).sum())
+                if field == "time"
+                else int(self.per_rank(ch, field).sum())
+            )
+            for ch in self.channels()
+        }
+
+    # -- consistency ---------------------------------------------------------
+
+    def check_against(self, stats) -> None:
+        """Assert the exact-decomposition invariant against a CommStats.
+
+        Raises ``AssertionError`` naming the first rank/field that drifts;
+        run reports call this so a broken tagging never ships silently.
+        """
+        msgs = self.totals("msgs")
+        nbytes = self.totals("bytes")
+        if not np.array_equal(msgs, stats.calls):
+            bad = int(np.flatnonzero(msgs != stats.calls)[0])
+            raise AssertionError(
+                f"flight msgs != CommStats.calls at rank {bad}: "
+                f"{int(msgs[bad])} != {int(stats.calls[bad])}"
+            )
+        if not np.array_equal(nbytes, stats.bytes):
+            bad = int(np.flatnonzero(nbytes != stats.bytes)[0])
+            raise AssertionError(
+                f"flight bytes != CommStats.bytes at rank {bad}: "
+                f"{int(nbytes[bad])} != {int(stats.bytes[bad])}"
+            )
+
+    # -- export --------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        chans, m_bytes = self.matrix("bytes")
+        _, m_msgs = self.matrix("msgs")
+        _, m_time = self.matrix("time")
+        _, m_ops = self.matrix("ops")
+        return {
+            "nproc": self.nproc,
+            "channels": chans,
+            "bytes": m_bytes.tolist(),
+            "msgs": m_msgs.tolist(),
+            "time": m_time.tolist(),
+            "ops": m_ops.tolist(),
+            "events": [ev.to_json() for ev in self.events()],
+            "dropped_events": self.dropped_events,
+        }
+
+    def export_metrics(self, registry=None, prefix: str = "repro_flight"):
+        """Export the channel matrix as labelled counters/gauges."""
+        from repro.obs.metrics import get_metrics
+
+        reg = registry if registry is not None else get_metrics()
+        specs = (
+            ("msgs_total", "msgs", "tagged one-sided calls", True),
+            ("bytes_total", "bytes", "tagged bytes moved", True),
+            ("ops_total", "ops", "scheduler atomics (not GA calls)", True),
+            ("time_seconds", "time", "simulated seconds attributed", False),
+        )
+        for suffix, field, help_, is_counter in specs:
+            name = f"{prefix}_{suffix}"
+            if is_counter:
+                metric = reg.counter(name, help_, labelnames=("proc", "channel"))
+                for ch in self.channels():
+                    vals = self.per_rank(ch, field)
+                    for p in range(self.nproc):
+                        if vals[p]:
+                            metric.inc(int(vals[p]), proc=p, channel=ch)
+            else:
+                metric = reg.gauge(name, help_, labelnames=("proc", "channel"))
+                for ch in self.channels():
+                    vals = self.per_rank(ch, field)
+                    for p in range(self.nproc):
+                        if vals[p]:
+                            metric.set(float(vals[p]), proc=p, channel=ch)
+        return reg

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
-from repro.runtime.network import CommStats
+if TYPE_CHECKING:  # deferred: repro.runtime.network imports repro.obs.flight
+    from repro.runtime.network import CommStats
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 
@@ -254,7 +255,7 @@ def _fmt_float(value) -> str:
 
 
 def export_commstats(
-    stats: CommStats,
+    stats: "CommStats",
     registry: MetricsRegistry | None = None,
     prefix: str = "repro_comm",
 ) -> MetricsRegistry:

@@ -1,0 +1,695 @@
+"""Self-contained HTML run reports for a Fock-build run.
+
+One run -> one HTML file, no external assets: inline CSS, inline SVG
+charts, and the Perfetto trace embedded as a base64 ``data:`` download
+link.  The report shows
+
+* a rank x channel communication-volume heatmap (flight recorder),
+* the steal-event timeline over the virtual clock,
+* per-rank load-balance bars (compute vs communication time),
+* the model-vs-measured deviation table (Sec III-G validation) with
+  pass / warn / fail badges.
+
+Charts follow the repo's data-viz conventions: a single blue sequential
+ramp for magnitude, two fixed categorical slots for the compute/comm
+series, reserved status colors that never appear without an icon +
+label, ink/surface tokens as CSS custom properties with a dark mode
+selected per-token (``prefers-color-scheme`` plus a ``data-theme``
+override), native tooltips on every mark, and a table view beside every
+chart so no value is readable only through color.
+
+:func:`run_report` is the driver: it executes a numeric
+:func:`~repro.fock.gtfock.gtfock_build` under a tracer, checks the
+flight recorder's exact-decomposition invariant, validates the run
+against the performance model, and renders the page.
+"""
+
+from __future__ import annotations
+
+import base64
+import html
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.validate import FAIL, PASS, WARN, ModelValidation
+
+# -- palette (see docs: reference data-viz palette) --------------------------
+
+#: sequential blue ramp, steps 100..700 (magnitude encoding, both modes)
+SEQ_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --grid: #2c2c2a;
+  --baseline: #383835;
+  --border: rgba(255, 255, 255, 0.10);
+  --series-1: #3987e5;
+  --series-2: #d95926;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  background: var(--page);
+  color: var(--text-primary);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 960px; margin: 0 auto; padding: 24px 20px 64px; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 32px 0 8px; }
+.subtitle { color: var(--text-secondary); margin: 0 0 20px; }
+section {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 16px;
+  margin: 16px 0;
+}
+section > h2 { margin-top: 0; }
+.caption { color: var(--text-secondary); font-size: 13px; margin: 4px 0 12px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 10px 14px;
+  min-width: 116px;
+}
+.tile .v { font-size: 22px; }
+.tile .l { color: var(--text-muted); font-size: 12px; }
+svg { display: block; max-width: 100%; }
+svg text { font: 12px system-ui, -apple-system, "Segoe UI", sans-serif; }
+.axis-label { fill: var(--text-muted); }
+.cell-hover:hover, .mark:hover { stroke: var(--text-primary); stroke-width: 1.5; }
+.legend { display: flex; gap: 16px; align-items: center; margin: 0 0 8px; }
+.legend .sw {
+  display: inline-block; width: 12px; height: 12px; border-radius: 3px;
+  vertical-align: -1px; margin-right: 6px;
+}
+.legend span { color: var(--text-secondary); font-size: 13px; }
+table { border-collapse: collapse; width: 100%; font-variant-numeric: tabular-nums; }
+th, td { text-align: right; padding: 5px 10px; border-bottom: 1px solid var(--grid); }
+th { color: var(--text-muted); font-weight: 500; font-size: 12px; }
+th:first-child, td:first-child { text-align: left; }
+details { margin-top: 10px; }
+summary { cursor: pointer; color: var(--text-secondary); font-size: 13px; }
+.badge {
+  display: inline-flex; align-items: center; gap: 5px;
+  font-size: 12px; color: var(--text-primary);
+  border: 1px solid var(--border); border-radius: 999px; padding: 1px 9px;
+}
+.badge .ic { font-weight: 700; }
+.badge-pass .ic { color: var(--status-good); }
+.badge-warn .ic { color: var(--status-warning); }
+.badge-fail .ic { color: var(--status-critical); }
+a { color: var(--series-1); }
+footer { color: var(--text-muted); font-size: 12px; margin-top: 24px; }
+"""
+
+_BADGES = {
+    PASS: ("badge-pass", "✓", "pass"),
+    WARN: ("badge-warn", "!", "warn"),
+    FAIL: ("badge-fail", "✕", "fail"),
+}
+
+
+def _badge(status: str) -> str:
+    cls, icon, label = _BADGES[status]
+    return (
+        f'<span class="badge {cls}"><span class="ic">{icon}</span>'
+        f"{label}</span>"
+    )
+
+
+def _esc(s: Any) -> str:
+    return html.escape(str(s), quote=True)
+
+
+def _fmt_bytes(n: float) -> str:
+    n = float(n)
+    for unit in ("B", "kB", "MB", "GB"):
+        if abs(n) < 1000.0 or unit == "GB":
+            return f"{n:.0f} {unit}" if unit == "B" else f"{n:.2f} {unit}"
+        n /= 1000.0
+    return f"{n:.2f} GB"
+
+
+def _fmt_g(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.3g}"
+    return f"{v:.3f}".rstrip("0").rstrip(".")
+
+
+def _seq_color(value: float, vmax: float) -> str:
+    """Map a magnitude to the sequential ramp (sqrt scale for spread)."""
+    if vmax <= 0 or value <= 0:
+        return "none"
+    frac = math.sqrt(min(value / vmax, 1.0))
+    return SEQ_RAMP[min(int(frac * len(SEQ_RAMP)), len(SEQ_RAMP) - 1)]
+
+
+# -- charts ------------------------------------------------------------------
+
+
+def heatmap_svg(chans: list[str], values: np.ndarray) -> str:
+    """Rank x channel bytes heatmap (rows = ranks, sequential blue)."""
+    nproc, nchan = values.shape
+    cw, ch_px, left, top = 74, 26, 52, 64
+    width = left + nchan * cw + 8
+    height = top + nproc * ch_px + 8
+    vmax = float(values.max()) if values.size else 0.0
+    out = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" '
+        f'aria-label="bytes moved per rank and channel">'
+    ]
+    for j, chan in enumerate(chans):
+        x = left + j * cw + cw / 2
+        out.append(
+            f'<text class="axis-label" x="{x}" y="{top - 10}" '
+            f'text-anchor="middle" transform="rotate(-28 {x} {top - 10})">'
+            f"{_esc(chan)}</text>"
+        )
+    for i in range(nproc):
+        y = top + i * ch_px + ch_px / 2 + 4
+        out.append(
+            f'<text class="axis-label" x="{left - 8}" y="{y}" '
+            f'text-anchor="end">r{i}</text>'
+        )
+        for j, chan in enumerate(chans):
+            v = float(values[i, j])
+            fill = _seq_color(v, vmax)
+            attrs = (
+                f'fill="{fill}"'
+                if fill != "none"
+                else 'fill="var(--surface-1)" stroke="var(--grid)"'
+            )
+            # 2px gap between cells via inset geometry
+            out.append(
+                f'<rect class="cell-hover" x="{left + j * cw + 1}" '
+                f'y="{top + i * ch_px + 1}" width="{cw - 2}" '
+                f'height="{ch_px - 2}" rx="3" {attrs}>'
+                f"<title>rank {i} · {_esc(chan)}: {_fmt_bytes(v)}"
+                f"</title></rect>"
+            )
+    out.append("</svg>")
+    return "".join(out)
+
+
+def steal_timeline_svg(
+    steals: list[Any], finish: np.ndarray, nproc: int
+) -> str:
+    """Steal events over the virtual clock, one row per rank."""
+    left, top, right, row_h = 44, 16, 12, 26
+    plot_w = 640
+    width = left + plot_w + right
+    height = top + nproc * row_h + 34
+    tmax = float(finish.max()) if finish.size else 0.0
+    tmax = max(tmax, max((s.time for s in steals), default=0.0), 1e-30)
+
+    def x_of(t: float) -> float:
+        return left + (t / tmax) * plot_w
+
+    def y_of(rank: int) -> float:
+        return top + rank * row_h + row_h / 2
+
+    out = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="steal-event timeline">'
+    ]
+    for p in range(nproc):
+        y = y_of(p)
+        out.append(
+            f'<line x1="{left}" y1="{y}" x2="{left + plot_w}" y2="{y}" '
+            f'stroke="var(--grid)"/>'
+        )
+        out.append(
+            f'<text class="axis-label" x="{left - 8}" y="{y + 4}" '
+            f'text-anchor="end">r{p}</text>'
+        )
+        # busy bar: rank is executing until its finish time
+        fx = x_of(float(finish[p]))
+        out.append(
+            f'<line x1="{left}" y1="{y}" x2="{fx:.1f}" y2="{y}" '
+            f'stroke="var(--baseline)" stroke-width="3" '
+            f'stroke-linecap="round"><title>rank {p} busy until '
+            f"{finish[p]:.3g} s</title></line>"
+        )
+    axis_y = top + nproc * row_h + 8
+    out.append(
+        f'<line x1="{left}" y1="{axis_y}" x2="{left + plot_w}" '
+        f'y2="{axis_y}" stroke="var(--baseline)"/>'
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = left + frac * plot_w
+        out.append(
+            f'<text class="axis-label" x="{x}" y="{axis_y + 16}" '
+            f'text-anchor="middle">{tmax * frac:.3g}</text>'
+        )
+    out.append(
+        f'<text class="axis-label" x="{left + plot_w}" y="{axis_y - 6}" '
+        f'text-anchor="end">virtual seconds</text>'
+    )
+    for s in steals:
+        x = x_of(s.time)
+        y_t, y_v = y_of(s.thief), y_of(s.victim)
+        tip = (
+            f"<title>t={s.time:.3g} s: r{s.thief} stole {s.ntasks} tasks "
+            f"from r{s.victim}</title>"
+        )
+        out.append(
+            f'<line x1="{x:.1f}" y1="{y_t}" x2="{x:.1f}" y2="{y_v}" '
+            f'stroke="var(--series-1)" stroke-dasharray="3 3" opacity="0.6"/>'
+        )
+        out.append(
+            f'<circle class="mark" cx="{x:.1f}" cy="{y_v}" r="4" '
+            f'fill="var(--surface-1)" stroke="var(--series-1)" '
+            f'stroke-width="2">{tip}</circle>'
+        )
+        out.append(
+            f'<circle class="mark" cx="{x:.1f}" cy="{y_t}" r="5" '
+            f'fill="var(--series-1)">{tip}</circle>'
+        )
+    out.append("</svg>")
+    return "".join(out)
+
+
+def load_balance_svg(comp: np.ndarray, comm: np.ndarray) -> str:
+    """Per-rank stacked compute + communication time bars, one y axis."""
+    nproc = len(comp)
+    left, top, bottom = 56, 14, 26
+    bar_w = max(18, min(48, 560 // max(nproc, 1)))
+    gap = 10
+    plot_h = 180
+    width = left + nproc * (bar_w + gap) + 16
+    height = top + plot_h + bottom
+    total = comp + comm
+    vmax = float(total.max()) if nproc else 0.0
+    vmax = vmax if vmax > 0 else 1.0
+
+    def h_of(v: float) -> float:
+        return (v / vmax) * plot_h
+
+    out = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" '
+        f'aria-label="per-rank compute and communication time">'
+    ]
+    for frac in (0.0, 0.5, 1.0):
+        y = top + plot_h - frac * plot_h
+        out.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{width - 10}" '
+            f'y2="{y:.1f}" stroke="var(--grid)"/>'
+        )
+        out.append(
+            f'<text class="axis-label" x="{left - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{vmax * frac:.3g}</text>'
+        )
+    worst = int(np.argmax(total)) if nproc else 0
+    for p in range(nproc):
+        x = left + p * (bar_w + gap) + gap / 2
+        hc = h_of(float(comp[p]))
+        hm = h_of(float(comm[p]))
+        y0 = top + plot_h
+        out.append(
+            f'<rect class="mark" x="{x:.1f}" y="{y0 - hc:.1f}" '
+            f'width="{bar_w}" height="{max(hc, 0.5):.1f}" rx="2" '
+            f'fill="var(--series-1)"><title>rank {p} compute: '
+            f"{comp[p]:.3g} s</title></rect>"
+        )
+        # 2px surface gap between stacked segments
+        out.append(
+            f'<rect class="mark" x="{x:.1f}" y="{y0 - hc - 2 - hm:.1f}" '
+            f'width="{bar_w}" height="{max(hm, 0.5):.1f}" rx="2" '
+            f'fill="var(--series-2)"><title>rank {p} communication: '
+            f"{comm[p]:.3g} s</title></rect>"
+        )
+        out.append(
+            f'<text class="axis-label" x="{x + bar_w / 2:.1f}" '
+            f'y="{top + plot_h + 16}" text-anchor="middle">r{p}</text>'
+        )
+        if p == worst:  # selective direct label on the tallest bar only
+            out.append(
+                f'<text x="{x + bar_w / 2:.1f}" '
+                f'y="{y0 - hc - hm - 8:.1f}" text-anchor="middle" '
+                f'fill="var(--text-secondary)">{total[p]:.3g}s</text>'
+            )
+    out.append(
+        f'<line x1="{left}" y1="{top + plot_h}" x2="{width - 10}" '
+        f'y2="{top + plot_h}" stroke="var(--baseline)"/>'
+    )
+    out.append("</svg>")
+    return "".join(out)
+
+
+# -- tables ------------------------------------------------------------------
+
+
+def _matrix_table(chans: list[str], values: np.ndarray, fmt) -> str:
+    head = "".join(f"<th>{_esc(c)}</th>" for c in chans)
+    rows = []
+    for i in range(values.shape[0]):
+        cells = "".join(f"<td>{fmt(values[i, j])}</td>" for j in range(len(chans)))
+        rows.append(f"<tr><td>r{i}</td>{cells}</tr>")
+    return (
+        f"<table><thead><tr><th>rank</th>{head}</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def validation_table_html(v: ModelValidation) -> str:
+    rows = []
+    for d in v.deviations:
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(d.name)}</td>"
+            f"<td>{_fmt_g(d.predicted)}</td>"
+            f"<td>{_fmt_g(d.measured)}</td>"
+            f"<td>{d.ratio:.3f}</td>"
+            f"<td>&le; {_fmt_g(d.warn_at)} / {_fmt_g(d.fail_at)}</td>"
+            f"<td>{_badge(d.status)}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>metric</th><th>model</th><th>measured</th>"
+        "<th>measured/model</th><th>tolerance (fold)</th><th>status</th>"
+        f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+# -- the report --------------------------------------------------------------
+
+
+@dataclass
+class RunReport:
+    """Everything one report page needs, decoupled from how it was run."""
+
+    title: str
+    molecule: str
+    basis_name: str
+    nproc: int
+    nbf: int
+    nshells: int
+    flight: FlightRecorder
+    comp_time: np.ndarray
+    comm_time: np.ndarray
+    finish_time: np.ndarray
+    steals: list[Any]
+    validation: ModelValidation
+    summary: dict
+    trace: dict | None = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def load_balance(self) -> float:
+        return float(self.summary.get("load_balance", 1.0))
+
+
+def render_report(r: RunReport) -> str:
+    """Render one :class:`RunReport` as a self-contained HTML page."""
+    chans, m_bytes = r.flight.matrix("bytes")
+    _, m_msgs = r.flight.matrix("msgs")
+    tiles = (
+        (r.molecule, "molecule"),
+        (r.basis_name, "basis"),
+        (str(r.nproc), "processes"),
+        (f"{r.nbf} / {r.nshells}", "functions / shells"),
+        (str(len(r.steals)), "steals"),
+        (f"{r.summary.get('makespan', 0.0):.3g} s", "makespan"),
+        (f"{r.load_balance:.3f}", "load balance"),
+        (f"{r.summary.get('avg_volume_mb', 0.0):.3f}", "MB / process"),
+    )
+    tiles_html = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="l">{_esc(label)}</div></div>'
+        for v, label in tiles
+    )
+
+    trace_html = ""
+    if r.trace is not None:
+        payload = base64.b64encode(
+            json.dumps(r.trace).encode("utf-8")
+        ).decode("ascii")
+        trace_html = (
+            "<section><h2>Trace</h2>"
+            '<p class="caption">Chrome trace-event JSON of this run '
+            "(host spans + per-rank virtual clocks). Download and open at "
+            '<a href="https://ui.perfetto.dev">ui.perfetto.dev</a>.</p>'
+            f'<a download="{_esc(r.title)}.trace.json" '
+            f'href="data:application/json;base64,{payload}">'
+            "download Perfetto trace"
+            f" ({_fmt_bytes(len(payload) * 3 // 4)})</a></section>"
+        )
+
+    notes_html = ""
+    if r.notes:
+        items = "".join(f"<li>{_esc(n)}</li>" for n in r.notes)
+        notes_html = f'<ul class="caption">{items}</ul>'
+    dropped = r.flight.dropped_events
+    dropped_html = (
+        f'<p class="caption">{dropped} events dropped from the ring '
+        "buffer (oldest first); counters are unaffected.</p>"
+        if dropped
+        else ""
+    )
+
+    ops_chans = [c for c in chans if np.any(r.flight.per_rank(c, "ops"))]
+    ops_html = ""
+    if ops_chans:
+        m_ops = np.stack(
+            [r.flight.per_rank(c, "ops") for c in ops_chans], axis=1
+        )
+        ops_html = (
+            "<h2>Scheduler atomics</h2>"
+            '<p class="caption">Queue/steal-protocol operations per rank '
+            "(not one-sided GA calls; kept out of the Table VI/VII "
+            "counters).</p>"
+            + _matrix_table(ops_chans, m_ops, lambda v: f"{int(v)}")
+        )
+
+    doc = f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(r.title)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<main>
+<h1>Fock-build run report: {_esc(r.title)}</h1>
+<p class="subtitle">{_esc(r.molecule)} / {_esc(r.basis_name)} on
+{r.nproc} simulated processes &mdash; model validation
+{_badge(r.validation.status)}</p>
+<div class="tiles">{tiles_html}</div>
+
+<section>
+<h2>Communication volume by rank and channel</h2>
+<p class="caption">Bytes moved per rank on each flight-recorder channel
+(sequential scale, hover any cell for the value). Per-rank channel sums
+equal the run's Table VI counters exactly.</p>
+{heatmap_svg(chans, m_bytes)}
+<details><summary>table view (bytes and calls)</summary>
+{_matrix_table(chans, m_bytes, lambda v: _fmt_bytes(v))}
+<p class="caption">one-sided calls:</p>
+{_matrix_table(chans, m_msgs, lambda v: f"{int(v)}")}
+</details>
+{dropped_html}
+</section>
+
+<section>
+<h2>Steal-event timeline</h2>
+<p class="caption">Each steal connects its victim (open marker) to the
+thief (filled marker) at the virtual time it happened; the gray track
+shows how long each rank stayed busy.</p>
+{steal_timeline_svg(r.steals, r.finish_time, r.nproc)}
+<details><summary>table view</summary>
+<table><thead><tr><th>t (s)</th><th>thief</th><th>victim</th>
+<th>tasks</th></tr></thead><tbody>
+{''.join(f"<tr><td>{s.time:.6g}</td><td>r{s.thief}</td><td>r{s.victim}</td><td>{s.ntasks}</td></tr>" for s in r.steals)}
+</tbody></table></details>
+</section>
+
+<section>
+<h2>Load balance</h2>
+<div class="legend">
+<span><i class="sw" style="background: var(--series-1)"></i>compute</span>
+<span><i class="sw" style="background: var(--series-2)"></i>communication</span>
+</div>
+{load_balance_svg(r.comp_time, r.comm_time)}
+<p class="caption">l = max/mean clock = {r.load_balance:.3f}
+(Table VIII metric).</p>
+<details><summary>table view</summary>
+<table><thead><tr><th>rank</th><th>compute (s)</th><th>comm (s)</th>
+<th>finish (s)</th></tr></thead><tbody>
+{''.join(f"<tr><td>r{p}</td><td>{r.comp_time[p]:.6g}</td><td>{r.comm_time[p]:.6g}</td><td>{r.finish_time[p]:.6g}</td></tr>" for p in range(r.nproc))}
+</tbody></table></details>
+</section>
+
+<section>
+<h2>Model vs measured (Sec III-G)</h2>
+<p class="caption">Performance-model predictions against flight-recorder
+measurements; a metric warns/fails when measured/model (folded to
+&ge;&nbsp;1) exceeds its documented tolerance. Measured s =
+{r.validation.s_measured:.2f} victims/process.</p>
+{validation_table_html(r.validation)}
+{notes_html}
+</section>
+
+{ops_html and f'<section>{ops_html}</section>'}
+
+{trace_html}
+
+<footer>self-contained report &mdash; no external assets; generated by
+the repro flight recorder (see docs/OBSERVABILITY.md)</footer>
+</main>
+</body>
+</html>
+"""
+    return doc
+
+
+# -- run driver --------------------------------------------------------------
+
+
+def run_report(
+    molecule: str = "water",
+    basis_name: str = "6-31g",
+    nproc: int = 4,
+    tau: float = 1e-11,
+    config=None,
+    with_trace: bool = True,
+) -> tuple[RunReport, Any]:
+    """Run a numeric GTFock build and assemble its :class:`RunReport`.
+
+    Returns ``(report, build_result)``; render with
+    :func:`render_report` or persist via :func:`write_report`.
+    """
+    # heavy imports stay local: repro.obs must import before the runtime
+    from repro.chem import builders
+    from repro.chem.basis.basisset import BasisSet
+    from repro.chem.builders import paper_molecule
+    from repro.fock.gtfock import gtfock_build
+    from repro.fock.reorder import reorder_basis
+    from repro.integrals.engine import MDEngine
+    from repro.integrals.oneelec import core_hamiltonian, overlap
+    from repro.model.perfmodel import PerfModel
+    from repro.obs.metrics import export_commstats
+    from repro.obs.trace import Tracer, get_tracer
+    from repro.obs.validate import validate_run
+    from repro.runtime.machine import LONESTAR
+    from repro.scf.guess import core_guess
+    from repro.scf.orthogonalization import orthogonalizer
+
+    if config is None:
+        config = LONESTAR
+    simple = {
+        "water": builders.water,
+        "h2": builders.h2,
+        "methane": builders.methane,
+        "benzene": builders.benzene,
+    }
+    mol = simple[molecule]() if molecule in simple else paper_molecule(molecule)
+    basis = reorder_basis(BasisSet.build(mol, basis_name))
+    engine = MDEngine(basis)
+    hcore = core_hamiltonian(basis)
+    x = orthogonalizer(overlap(basis))
+    density = core_guess(hcore, x, mol.nelectrons // 2)
+
+    # reuse an installed (e.g. --trace) tracer so its output and the
+    # embedded trace are the same run; otherwise record one locally
+    ambient = get_tracer()
+    if ambient.enabled:
+        tracer = ambient
+    elif with_trace:
+        tracer = Tracer("repro-report")
+    else:
+        tracer = None
+    result = gtfock_build(
+        engine, hcore, density, nproc, tau=tau, config=config, tracer=tracer
+    )
+    stats = result.stats
+    # the invariant the whole report stands on: per-rank channel sums
+    # must equal the global counters exactly
+    stats.flight.check_against(stats)
+    export_commstats(stats)
+    stats.flight.export_metrics()
+
+    s_measured = result.outcome.avg_steals_per_proc
+    model = PerfModel.from_screening(result.screen, config, s=s_measured)
+    validation = validate_run(model, stats, s_measured=s_measured)
+
+    title = f"{mol.name or mol.formula}-{basis_name}-p{nproc}"
+    report = RunReport(
+        title=title,
+        molecule=mol.name or mol.formula,
+        basis_name=basis_name,
+        nproc=nproc,
+        nbf=basis.nbf,
+        nshells=basis.nshells,
+        flight=stats.flight,
+        comp_time=stats.comp_time.copy(),
+        comm_time=stats.comm_time.copy(),
+        finish_time=result.outcome.finish_time.copy(),
+        steals=result.outcome.steals,
+        validation=validation,
+        summary=stats.summary(),
+        trace=tracer.chrome_trace() if tracer is not None else None,
+        notes=[
+            "model tolerances are calibrated for small test molecules; "
+            "see docs/OBSERVABILITY.md for the threshold table",
+        ],
+    )
+    return report, result
+
+
+def write_report(path: str, report: RunReport) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_report(report))

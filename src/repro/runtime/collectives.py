@@ -11,6 +11,12 @@ from __future__ import annotations
 import math
 
 
+from repro.obs.flight import (
+    CH_ALLREDUCE,
+    CH_BARRIER,
+    CH_BROADCAST,
+    CH_REDUCE_SCATTER,
+)
 from repro.runtime.network import CommStats
 
 
@@ -22,7 +28,7 @@ def barrier(stats: CommStats) -> float:
     """Dissemination barrier: log2(p) latency rounds, then sync clocks."""
     r = _rounds(stats.nproc)
     for p in range(stats.nproc):
-        stats.charge_comm(p, 0, ncalls=r, remote=stats.nproc > 1)
+        stats.charge_comm(p, 0, ncalls=r, remote=stats.nproc > 1, channel=CH_BARRIER)
     return stats.barrier()
 
 
@@ -36,7 +42,9 @@ def allreduce(stats: CommStats, nbytes: float) -> float:
         raise ValueError("nbytes must be >= 0")
     r = _rounds(stats.nproc)
     for p in range(stats.nproc):
-        stats.charge_comm(p, nbytes * r, ncalls=r, remote=stats.nproc > 1)
+        stats.charge_comm(
+            p, nbytes * r, ncalls=r, remote=stats.nproc > 1, channel=CH_ALLREDUCE
+        )
     return stats.barrier()
 
 
@@ -51,7 +59,9 @@ def broadcast(stats: CommStats, nbytes: float, root: int = 0) -> float:
     r = _rounds(stats.nproc)
     for p in range(stats.nproc):
         ncalls = r if p == root else 1
-        stats.charge_comm(p, nbytes, ncalls=ncalls, remote=stats.nproc > 1)
+        stats.charge_comm(
+            p, nbytes, ncalls=ncalls, remote=stats.nproc > 1, channel=CH_BROADCAST
+        )
     return stats.barrier()
 
 
@@ -66,5 +76,8 @@ def reduce_scatter(stats: CommStats, nbytes_total: float) -> float:
     p = stats.nproc
     share = nbytes_total * (p - 1) / max(p, 1)
     for proc in range(p):
-        stats.charge_comm(proc, share, ncalls=max(p - 1, 1), remote=p > 1)
+        stats.charge_comm(
+            proc, share, ncalls=max(p - 1, 1), remote=p > 1,
+            channel=CH_REDUCE_SCATTER,
+        )
     return stats.barrier()

@@ -20,6 +20,7 @@ import math
 
 import numpy as np
 
+from repro.obs.flight import CH_COUNTER, CH_GA
 from repro.runtime.network import CommStats
 
 
@@ -131,27 +132,37 @@ class GlobalArray:
                 )
                 yield self.proc_id(gi, gj), rs, cs
 
-    def _charge(self, proc: int, r0: int, r1: int, c0: int, c1: int) -> None:
+    def _charge(
+        self, proc: int, r0: int, r1: int, c0: int, c1: int, channel: str
+    ) -> None:
         es = self.stats.config.element_size
         for owner, rs, cs in self._owners_touched(r0, r1, c0, c1, proc):
             nbytes = (rs.stop - rs.start) * (cs.stop - cs.start) * es
-            self.stats.charge_comm(proc, nbytes, ncalls=1, remote=owner != proc)
+            self.stats.charge_comm(
+                proc, nbytes, ncalls=1, remote=owner != proc, channel=channel
+            )
 
-    def get(self, proc: int, r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+    def get(
+        self, proc: int, r0: int, r1: int, c0: int, c1: int, channel: str = CH_GA
+    ) -> np.ndarray:
         """One-sided read of ``[r0:r1, c0:c1]`` by ``proc`` (GA_Get)."""
-        self._charge(proc, r0, r1, c0, c1)
+        self._charge(proc, r0, r1, c0, c1, channel)
         return self.data[r0:r1, c0:c1].copy()
 
-    def put(self, proc: int, r0: int, c0: int, block: np.ndarray) -> None:
+    def put(
+        self, proc: int, r0: int, c0: int, block: np.ndarray, channel: str = CH_GA
+    ) -> None:
         """One-sided write (GA_Put)."""
         r1, c1 = r0 + block.shape[0], c0 + block.shape[1]
-        self._charge(proc, r0, r1, c0, c1)
+        self._charge(proc, r0, r1, c0, c1, channel)
         self.data[r0:r1, c0:c1] = block
 
-    def acc(self, proc: int, r0: int, c0: int, block: np.ndarray) -> None:
+    def acc(
+        self, proc: int, r0: int, c0: int, block: np.ndarray, channel: str = CH_GA
+    ) -> None:
         """One-sided atomic accumulate (GA_Acc): ``A[region] += block``."""
         r1, c1 = r0 + block.shape[0], c0 + block.shape[1]
-        self._charge(proc, r0, r1, c0, c1)
+        self._charge(proc, r0, r1, c0, c1, channel)
         self.data[r0:r1, c0:c1] += block
 
     # -- whole-array helpers (no accounting; test/setup use) -------------------
@@ -202,6 +213,9 @@ class SharedCounter:
         dt = finish - self.stats.clock[proc]
         self.stats.clock[proc] += dt
         self.stats.comm_time[proc] += dt
+        self.stats.flight.record(
+            proc, CH_COUNTER, 0, 1, dt, t=float(self.stats.clock[proc])
+        )
         out = self.value
         self.value += 1
         return out

@@ -16,17 +16,31 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.flight import CH_GA, CH_STEAL_D, FlightRecorder
 from repro.runtime.machine import MachineConfig
 
 
 class CommStats:
-    """Mutable per-process communication counters and clocks."""
+    """Mutable per-process communication counters and clocks.
 
-    def __init__(self, nproc: int, config: MachineConfig):
+    Every charge carries a *channel* tag (see :mod:`repro.obs.flight`)
+    and is mirrored into the attached :class:`FlightRecorder`, so the
+    global Table VI/VII counters and the per-rank/per-channel breakdown
+    can never drift apart.
+    """
+
+    def __init__(
+        self,
+        nproc: int,
+        config: MachineConfig,
+        flight: FlightRecorder | None = None,
+    ):
         if nproc < 1:
             raise ValueError(f"need at least one process, got {nproc}")
         self.nproc = nproc
         self.config = config
+        #: per-rank/per-channel breakdown of everything charged below
+        self.flight = flight if flight is not None else FlightRecorder(nproc)
         self.calls = np.zeros(nproc, dtype=np.int64)
         self.bytes = np.zeros(nproc, dtype=np.int64)
         self.remote_calls = np.zeros(nproc, dtype=np.int64)
@@ -43,7 +57,12 @@ class CommStats:
             raise IndexError(f"process {proc} out of range [0, {self.nproc})")
 
     def charge_comm(
-        self, proc: int, nbytes: float, ncalls: int = 1, remote: bool = True
+        self,
+        proc: int,
+        nbytes: float,
+        ncalls: int = 1,
+        remote: bool = True,
+        channel: str = CH_GA,
     ) -> float:
         """Account a communication operation; returns the time charged."""
         self._check(proc)
@@ -60,6 +79,33 @@ class CommStats:
             dt = nbytes / (10.0 * self.config.bandwidth)
         self.clock[proc] += dt
         self.comm_time[proc] += dt
+        self.flight.record(
+            proc, channel, int(nbytes), ncalls, dt, t=float(self.clock[proc])
+        )
+        return dt
+
+    def charge_steal(
+        self,
+        proc: int,
+        nbytes: float,
+        ncalls: int = 1,
+        channel: str = CH_STEAL_D,
+    ) -> float:
+        """Account a steal transfer's counters; the scheduler applies the time.
+
+        Unlike :meth:`charge_comm` this does *not* advance the clock --
+        the work-stealing scheduler owns the thief's restart time and
+        adds the returned transfer time itself (see ``run_work_stealing``).
+        """
+        self._check(proc)
+        self.calls[proc] += ncalls
+        self.bytes[proc] += int(nbytes)
+        self.remote_calls[proc] += ncalls
+        self.remote_bytes[proc] += int(nbytes)
+        dt = self.config.transfer_time(nbytes, ncalls)
+        self.flight.record(
+            proc, channel, int(nbytes), ncalls, dt, t=float(self.clock[proc])
+        )
         return dt
 
     def charge_compute(self, proc: int, seconds: float) -> None:

@@ -1,0 +1,112 @@
+"""End-to-end CLI observability: ``repro report`` and the obs flags.
+
+``tests/test_obs.py::TestCli`` covers ``repro scf --trace/--metrics``;
+here we cover the ``report`` subcommand and the experiment commands, and
+validate the emitted artifacts structurally -- every Perfetto event
+carries the required keys, the Prometheus text parses line by line, and
+the HTML report is a single self-contained file.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.eE+-]+$"
+)
+
+
+def _check_prometheus(text: str) -> int:
+    """Every non-comment line is a valid sample; return the count."""
+    n = 0
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _PROM_LINE.match(line), f"bad Prometheus line: {line!r}"
+        n += 1
+    return n
+
+
+def _check_perfetto(path) -> list[dict]:
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    assert events, "empty trace"
+    for ev in events:
+        assert ev["ph"] in ("X", "i", "C", "M")
+        if ev["ph"] == "M":  # metadata (process/thread names): no ts/tid
+            assert "name" in ev and "pid" in ev
+            continue
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            assert key in ev, f"event missing {key}: {ev}"
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+    return events
+
+
+class TestReportCommand:
+    @pytest.fixture(scope="class")
+    def report_run(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("report")
+        out = tmp / "run-report.html"
+        trace = tmp / "trace.json"
+        metrics = tmp / "metrics.prom"
+        rc = main([
+            "report", "water", "--basis", "sto-3g", "--nproc", "4",
+            "--out", str(out), "--check",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ])
+        return rc, out, trace, metrics
+
+    def test_exit_code_and_html(self, report_run):
+        rc, out, _, _ = report_run
+        assert rc == 0
+        html = out.read_text()
+        assert html.lstrip().lower().startswith("<!doctype html>")
+        # acceptance markers: heatmap, steal timeline, model table
+        for needle in (
+            "Communication volume by rank and channel",
+            "Steal-event timeline",
+            "Model vs measured",
+            "prefetch_get",
+        ):
+            assert needle in html
+        # self-contained: no external fetches of any kind
+        assert "http" not in re.sub(
+            r'href="https://ui\.perfetto\.dev[^"]*"', "", html
+        ).replace("https://ui.perfetto.dev", "")
+
+    def test_trace_is_valid_perfetto(self, report_run):
+        _, _, trace, _ = report_run
+        events = _check_perfetto(trace)
+        names = {ev["name"] for ev in events}
+        assert "gtfock_build" in names
+
+    def test_metrics_include_flight_counters(self, report_run):
+        _, _, _, metrics = report_run
+        text = metrics.read_text()
+        assert _check_prometheus(text) > 10
+        assert "repro_flight_bytes_total" in text
+        assert 'channel="prefetch_get"' in text
+        assert "repro_comm_bytes_total" in text
+
+    def test_unwritable_out_fails_fast(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", "--out", str(tmp_path / "no" / "dir.html")])
+
+
+class TestExperimentObsFlags:
+    def test_table6_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "t6.json"
+        metrics = tmp_path / "t6.json.prom"
+        rc = main([
+            "table6", "--trace", str(trace), "--metrics", str(metrics)
+        ])
+        assert rc == 0
+        _check_perfetto(trace)
+        _check_prometheus(metrics.read_text())
+        out = capsys.readouterr().out
+        # satellite: the steal share surfaces in Table VI output
+        assert "of it steal MB" in out
