@@ -1,0 +1,83 @@
+"""Chaos benchmark: fault-injected Fock build vs fault-free baseline.
+
+Runs the ``repro chaos`` harness (one seeded random fault plan with a
+rank death over the water/sto-3g numeric build) and measures what
+recovery costs: the simulated-makespan slowdown, retries, re-executed
+tasks, and wall time.  Each full run appends one ``fock_chaos``
+datapoint to ``BENCH_fock.json`` so the fault-overhead trajectory is
+tracked alongside the performance tables; ``--quick`` skips the
+history file.  The chaos invariant (|dF| <= 1e-12 vs the fault-free
+build) is asserted on every run -- a benchmark that silently produced
+wrong numbers would be worse than useless.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from test_bench_table3_times import HISTORY_PATH, append_history
+
+from repro.fock.chaos import run_chaos
+
+
+def run_chaos_bench(seed: int = 7) -> tuple[dict, object]:
+    """One measurement: a seeded chaos run, timed, summarized."""
+    t0 = time.perf_counter()
+    cres = run_chaos("water", "sto-3g", nproc=4, seed=seed, ndeaths=1)
+    wall = time.perf_counter() - t0
+    ov = cres.overhead
+    entry = {
+        "benchmark": "fock_chaos",
+        "wall_s": round(wall, 3),
+        "molecule": cres.molecule,
+        "basis": cres.basis_name,
+        "nproc": cres.nproc,
+        "seed": seed,
+        "plan": cres.plan.describe(),
+        "fock_error": cres.fock_error,
+        "passed": cres.passed,
+        "makespan_clean_s": ov["makespan_clean"],
+        "makespan_faulty_s": ov["makespan_faulty"],
+        "fault_slowdown": round(ov["slowdown"], 4),
+        "retries": ov["retries_total"],
+        "reexecuted_tasks": ov["reexecuted_tasks"],
+        "recoveries": ov["recoveries"],
+        "retry_bytes": ov["retry_bytes"],
+    }
+    return entry, cres
+
+
+def check_result(cres) -> None:
+    assert cres.passed, (
+        f"chaos invariant violated: |dF| = {cres.fock_error:.3e}"
+    )
+    assert cres.overhead["dead_ranks"], "plan must kill at least one rank"
+    assert cres.overhead["makespan_faulty"] >= cres.overhead["makespan_clean"]
+
+
+def test_bench_chaos(benchmark, emit):
+    entry, cres = benchmark.pedantic(run_chaos_bench, rounds=1, iterations=1)
+    emit("\n".join(cres.summary_lines()))
+    check_result(cres)
+    append_history(entry)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    seed = 7
+    for i, a in enumerate(argv):
+        if a == "--seed" and i + 1 < len(argv):
+            seed = int(argv[i + 1])
+    entry, cres = run_chaos_bench(seed)
+    for line in cres.summary_lines():
+        print(line)
+    check_result(cres)
+    if not quick:
+        append_history(entry)
+        print(f"appended datapoint to {HISTORY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

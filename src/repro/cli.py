@@ -7,6 +7,7 @@ table{2..9} / fig1 / fig2       regenerate one evaluation artifact
 model                           Sec III-G performance-model analysis
 ablation {reorder,steal,grain}  design-choice ablations
 report MOLECULE [--out PATH]    self-contained HTML run report
+chaos MOLECULE [--seed N]       fault-injected build, verified vs fault-free
 list                            list built-in molecules and bases
 
 Every command accepts ``--trace PATH`` (Chrome trace-event JSON --
@@ -129,6 +130,77 @@ def _run_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fock.chaos import run_chaos
+    from repro.obs import get_metrics, get_tracer
+    from repro.obs.metrics import export_faults
+    from repro.obs.report import chaos_report, write_report
+    from repro.obs.trace import Tracer
+
+    # capture the faulted run for the report's embedded trace; reuse an
+    # installed (--trace) tracer so both outputs describe the same run
+    ambient = get_tracer()
+    if ambient.enabled:
+        tracer = ambient
+    elif args.report:
+        tracer = Tracer("repro-chaos")
+    else:
+        tracer = None
+    cres = run_chaos(
+        molecule=args.molecule,
+        basis_name=args.basis,
+        nproc=args.nproc,
+        seed=args.seed,
+        ndeaths=args.deaths,
+        nstragglers=args.stragglers,
+        op_fail_rate=args.op_fail_rate,
+        delay_rate=args.delay_rate,
+        tolerance=args.tolerance,
+        tracer=tracer,
+    )
+    print(
+        f"chaos run: {cres.molecule}/{cres.basis_name} on "
+        f"{cres.nproc} simulated processes"
+    )
+    for line in cres.summary_lines():
+        print(f"  {line}")
+    if cres.faulty.faults is not None:
+        export_faults(
+            cres.faulty.faults, cres.faulty.outcome, registry=get_metrics()
+        )
+    if args.report:
+        report = chaos_report(
+            cres, trace=tracer.chrome_trace() if tracer is not None else None
+        )
+        write_report(args.report, report)
+        print(f"chaos report written to {args.report}")
+    if args.json:
+        payload = {
+            "molecule": cres.molecule,
+            "basis": cres.basis_name,
+            "nproc": cres.nproc,
+            "seed": cres.plan.seed,
+            "fock_error": cres.fock_error,
+            "energy_error": cres.energy_error,
+            "tolerance": cres.tolerance,
+            "passed": cres.passed,
+            "overhead": cres.overhead,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"chaos summary written to {args.json}")
+    if not cres.passed:
+        print(
+            f"chaos invariant FAILED: max |dF| {cres.fock_error:.3e} exceeds "
+            f"{cres.tolerance:.0e}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_list() -> int:
     print("paper molecules :", ", ".join(sorted(PAPER_MOLECULES)))
     print("scaled stand-ins:", ", ".join(sorted(SCALED_MOLECULES)))
@@ -200,6 +272,40 @@ def main(argv: list[str] | None = None) -> int:
         help="skip embedding the Perfetto trace in the report",
     )
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a fault-injected numeric build and verify it against "
+        "the fault-free run (see docs/ROBUSTNESS.md)",
+        parents=[obs_flags],
+    )
+    p_chaos.add_argument("molecule", nargs="?", default="water")
+    p_chaos.add_argument("--basis", default="sto-3g")
+    p_chaos.add_argument("--nproc", type=int, default=4)
+    p_chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="seed of the random fault plan (same seed -> same run)",
+    )
+    p_chaos.add_argument(
+        "--deaths", type=int, default=1, help="ranks to kill mid-run"
+    )
+    p_chaos.add_argument(
+        "--stragglers", type=int, default=1, help="slowed-down ranks"
+    )
+    p_chaos.add_argument("--op-fail-rate", type=float, default=0.05)
+    p_chaos.add_argument("--delay-rate", type=float, default=0.05)
+    p_chaos.add_argument(
+        "--tolerance", type=float, default=1e-12,
+        help="max allowed |dF| vs the fault-free build",
+    )
+    p_chaos.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the chaos HTML run report",
+    )
+    p_chaos.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write a JSON summary (errors + recovery overhead)",
+    )
+
     sub.add_parser(
         "list", help="list built-in molecules and bases", parents=[obs_flags]
     )
@@ -209,7 +315,13 @@ def main(argv: list[str] | None = None) -> int:
     # fail fast on unwritable output paths -- a long run must not end
     # in a traceback with its trace/metrics lost
     out_path = getattr(args, "out", None)
-    for path in (args.trace, args.metrics, out_path):
+    for path in (
+        args.trace,
+        args.metrics,
+        out_path,
+        getattr(args, "report", None),
+        getattr(args, "json", None),
+    ):
         if path:
             parent = os.path.dirname(path) or "."
             if not os.path.isdir(parent):
@@ -229,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_ablation(args)
         if args.command == "report":
             return _run_report(args)
+        if args.command == "chaos":
+            return _run_chaos(args)
         if args.command == "list":
             return _run_list()
         return _run_experiment(args.command)

@@ -19,6 +19,7 @@ from repro.fock.ablation import (
     stealing_ablation,
 )
 from repro.fock.centralized import CentralizedOutcome, run_centralized
+from repro.fock.chaos import ChaosResult, run_chaos
 from repro.fock.cost import TaskCosts, parity_allowed, quartet_cost_matrix
 from repro.fock.gtfock import GTFockBuildResult, PrefetchMiss, gtfock_build
 from repro.fock.nwchem import NWChemBuildResult, nwchem_build
@@ -33,7 +34,12 @@ from repro.fock.prefetch import (
 from repro.fock.reorder import bandwidth_of, cell_reordering, reorder_basis
 from repro.fock.screening_map import ScreeningMap
 from repro.fock.simulate import FockSimResult, simulate_gtfock, simulate_nwchem
-from repro.fock.stealing import StealingOutcome, run_work_stealing, victim_scan_order
+from repro.fock.stealing import (
+    RecoveryRecord,
+    StealingOutcome,
+    run_work_stealing,
+    victim_scan_order,
+)
 from repro.fock.symmetry import (
     canonical_instance,
     is_canonical_instance,
@@ -62,6 +68,8 @@ __all__ = [
     "stealing_ablation",
     "CentralizedOutcome",
     "run_centralized",
+    "ChaosResult",
+    "run_chaos",
     "TaskCosts",
     "parity_allowed",
     "quartet_cost_matrix",
@@ -84,6 +92,7 @@ __all__ = [
     "FockSimResult",
     "simulate_gtfock",
     "simulate_nwchem",
+    "RecoveryRecord",
     "StealingOutcome",
     "run_work_stealing",
     "victim_scan_order",

@@ -1,0 +1,179 @@
+"""Chaos harness: prove the Fock build survives injected faults.
+
+Runs the numeric GTFock build twice on identical inputs -- once
+fault-free, once under a seeded :class:`~repro.runtime.faults.FaultPlan`
+(stragglers, lossy one-sided ops, delayed messages, rank deaths) -- and
+verifies the central robustness invariant:
+
+    the faulted build's Fock matrix equals the fault-free one to
+    ``<= 1e-12`` max elementwise difference, for *any* seeded plan that
+    leaves at least one rank alive.
+
+Only the virtual-time accounting may differ: retries, re-executed
+tasks, and extra bytes show up as measurable recovery overhead (the
+``retry`` flight channel, :class:`RecoveryRecord` entries, and the
+fault-overhead counters), never as a numeric change.
+
+Driven by the ``repro chaos`` CLI and ``tests/test_faults.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fock.gtfock import GTFockBuildResult, gtfock_build
+from repro.obs import Tracer
+from repro.runtime.faults import FaultPlan, random_plan
+from repro.runtime.machine import LONESTAR, MachineConfig
+
+
+@dataclass
+class ChaosResult:
+    """Fault-free vs faulted build comparison, plus recovery overhead."""
+
+    molecule: str
+    basis_name: str
+    nproc: int
+    plan: FaultPlan
+    clean: GTFockBuildResult
+    faulty: GTFockBuildResult
+    #: max |F_faulty - F_clean| over all elements
+    fock_error: float
+    #: |E_faulty - E_clean| of the one-iteration electronic energy
+    energy_error: float
+    tolerance: float = 1e-12
+    #: recovery-overhead summary (retries, re-executions, time ratio)
+    overhead: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return self.fock_error <= self.tolerance
+
+    def summary_lines(self) -> list[str]:
+        o = self.overhead
+        lines = [
+            f"plan: {self.plan.describe()}",
+            f"max |dF| = {self.fock_error:.3e} "
+            f"(tolerance {self.tolerance:.0e}) -> "
+            + ("PASS" if self.passed else "FAIL"),
+            f"|dE| = {self.energy_error:.3e} Ha",
+            f"dead ranks: {o.get('dead_ranks', [])}  "
+            f"re-executed tasks: {o.get('reexecuted_tasks', 0)}  "
+            f"recoveries: {o.get('recoveries', 0)}",
+            f"retries: {o.get('retries_total', 0)}  "
+            f"acks lost: {o.get('acks_lost_total', 0)}  "
+            f"retry bytes: {o.get('retry_bytes', 0)}",
+            f"makespan: {o.get('makespan_clean', 0.0):.4g} s clean -> "
+            f"{o.get('makespan_faulty', 0.0):.4g} s under faults "
+            f"(x{o.get('slowdown', 1.0):.2f})",
+        ]
+        return lines
+
+
+def build_inputs(molecule: str, basis_name: str):
+    """Molecule-name -> (engine, hcore, density, mol, basis), the same
+    input pipeline the run-report driver uses."""
+    from repro.chem import builders
+    from repro.chem.basis.basisset import BasisSet
+    from repro.chem.builders import paper_molecule
+    from repro.fock.reorder import reorder_basis
+    from repro.integrals.engine import MDEngine
+    from repro.integrals.oneelec import core_hamiltonian, overlap
+    from repro.scf.guess import core_guess
+    from repro.scf.orthogonalization import orthogonalizer
+
+    simple = {
+        "water": builders.water,
+        "h2": builders.h2,
+        "methane": builders.methane,
+        "benzene": builders.benzene,
+    }
+    mol = simple[molecule]() if molecule in simple else paper_molecule(molecule)
+    basis = reorder_basis(BasisSet.build(mol, basis_name))
+    engine = MDEngine(basis)
+    hcore = core_hamiltonian(basis)
+    x = orthogonalizer(overlap(basis))
+    density = core_guess(hcore, x, mol.nelectrons // 2)
+    return engine, hcore, density, mol, basis
+
+
+def _one_iter_energy(density: np.ndarray, hcore: np.ndarray, fock: np.ndarray) -> float:
+    """RHF electronic energy of this density/Fock pair: tr D (H + F)."""
+    return float(np.sum(density * (hcore + fock)))
+
+
+def run_chaos(
+    molecule: str = "water",
+    basis_name: str = "sto-3g",
+    nproc: int = 4,
+    tau: float = 1e-11,
+    config: MachineConfig = LONESTAR,
+    seed: int = 0,
+    ndeaths: int = 1,
+    nstragglers: int = 1,
+    op_fail_rate: float = 0.05,
+    delay_rate: float = 0.05,
+    tolerance: float = 1e-12,
+    plan: FaultPlan | None = None,
+    tracer: Tracer | None = None,
+) -> ChaosResult:
+    """Run the fault-free/faulted build pair and compare.
+
+    When ``plan`` is omitted, a :func:`random_plan` is derived from
+    ``seed`` with the fault-free makespan as its horizon, so deaths land
+    mid-execution regardless of problem size.  ``tracer`` (optional)
+    captures the *faulted* run for report embedding.
+    """
+    engine, hcore, density, mol, basis = build_inputs(molecule, basis_name)
+    clean = gtfock_build(
+        engine, hcore, density, nproc, tau=tau, config=config
+    )
+    horizon = float(clean.outcome.makespan)
+    if plan is None:
+        plan = random_plan(
+            seed,
+            nproc,
+            horizon,
+            ndeaths=ndeaths,
+            nstragglers=nstragglers,
+            op_fail_rate=op_fail_rate,
+            delay_rate=delay_rate,
+        )
+    faulty = gtfock_build(
+        engine, hcore, density, nproc, tau=tau, config=config,
+        screen=clean.screen, tracer=tracer, faults=plan,
+    )
+    fock_error = float(np.max(np.abs(faulty.fock - clean.fock)))
+    energy_error = abs(
+        _one_iter_energy(density, hcore, faulty.fock)
+        - _one_iter_energy(density, hcore, clean.fock)
+    )
+    fstate = faulty.faults
+    overhead = dict(fstate.overhead_summary()) if fstate is not None else {}
+    overhead.update(
+        dead_ranks=list(faulty.outcome.dead_ranks),
+        reexecuted_tasks=int(faulty.outcome.reexecuted_tasks),
+        recoveries=len(faulty.outcome.recoveries),
+        retry_bytes=int(faulty.stats.flight.per_rank("retry", "bytes").sum()),
+        makespan_clean=float(clean.stats.clock.max()),
+        makespan_faulty=float(faulty.stats.clock.max()),
+        slowdown=(
+            float(faulty.stats.clock.max()) / float(clean.stats.clock.max())
+            if float(clean.stats.clock.max()) > 0
+            else 1.0
+        ),
+    )
+    return ChaosResult(
+        molecule=mol.name or mol.formula,
+        basis_name=basis_name,
+        nproc=nproc,
+        plan=plan,
+        clean=clean,
+        faulty=faulty,
+        fock_error=fock_error,
+        energy_error=energy_error,
+        tolerance=tolerance,
+        overhead=overhead,
+    )

@@ -24,6 +24,7 @@ per-task/steal events -- one Perfetto row per rank.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -39,7 +40,8 @@ from repro.fock.stealing import StealingOutcome, run_work_stealing
 from repro.fock.tasks import enumerate_task_quartets
 from repro.integrals.engine import ERIEngine
 from repro.obs import Tracer, get_tracer
-from repro.obs.flight import CH_FOCK_ACC, CH_PREFETCH_GET, CH_STEAL_F
+from repro.obs.flight import CH_FOCK_ACC, CH_PREFETCH_GET, CH_STEAL_F, CH_TASK_GET
+from repro.runtime.faults import FaultPlan, FaultState
 from repro.runtime.ga import GlobalArray
 from repro.runtime.machine import LONESTAR, MachineConfig
 from repro.runtime.network import CommStats
@@ -58,6 +60,8 @@ class GTFockBuildResult:
     partition: StaticPartition
     screen: ScreeningMap
     costs: TaskCosts
+    #: activated fault state when the build ran under fault injection
+    faults: FaultState | None = None
 
     @property
     def quartets_computed(self) -> float:
@@ -72,18 +76,28 @@ class _ProcessBuffers:
         self.have = np.zeros((nbf, nbf), dtype=bool)
         self.j = np.zeros((nbf, nbf))
         self.k = np.zeros((nbf, nbf))
+        #: on-demand fetch of an unprefetched D block; only installed
+        #: under fault injection, where adopting a dead rank's orphaned
+        #: tasks legitimately needs D outside this rank's footprint
+        self.fetch: Callable[[slice, slice], np.ndarray] | None = None
 
     def read_d(self, rows: slice, cols: slice) -> np.ndarray:
         """Read a D block, exploiting D's symmetry like the real GTFock.
 
         The prefetch regions store each needed block in at least one
         orientation; the transpose is served from the mirrored block.
-        A miss in *both* orientations is a genuine coverage bug.
+        A miss in *both* orientations is a genuine coverage bug --
+        unless a fault-recovery fetcher is installed, in which case the
+        block is fetched on demand (and charged) instead.
         """
         if self.have[rows, cols].all():
             return self.d_local[rows, cols]
         if self.have[cols, rows].all():
             return self.d_local[cols, rows].T
+        if self.fetch is not None:
+            self.d_local[rows, cols] = self.fetch(rows, cols)
+            self.have[rows, cols] = True
+            return self.d_local[rows, cols]
         raise PrefetchMiss(
             f"D[{rows}, {cols}] was not prefetched by this process"
         )
@@ -105,12 +119,21 @@ def gtfock_build(
     enable_stealing: bool = True,
     screen: ScreeningMap | None = None,
     tracer: Tracer | None = None,
+    faults: FaultPlan | FaultState | None = None,
 ) -> GTFockBuildResult:
     """Numeric GTFock Fock-matrix construction on ``nproc`` simulated processes.
 
     The ``engine.basis`` ordering is used as-is; apply
     :func:`repro.fock.reorder.reorder_basis` beforehand (and pass matching
     ``hcore``/``density``) to include the Sec III-D reordering.
+
+    ``faults`` runs the build under fault injection (stragglers, lossy
+    one-sided ops with retry, rank deaths).  The build is engineered to
+    produce the *same* Fock matrix regardless: retried accumulates are
+    tag-deduplicated, a dead rank's partial flush epoch is aborted, and
+    its orphaned tasks are re-executed by survivors (reading D on demand
+    where their prefetch footprint falls short).  Only the virtual-time
+    accounting, retry channel, and recovery records differ.
     """
     if tracer is None:
         tracer = get_tracer()
@@ -118,13 +141,19 @@ def gtfock_build(
     nbf = basis.nbf
     if hcore.shape != (nbf, nbf) or density.shape != (nbf, nbf):
         raise ValueError("hcore/density shape does not match the basis")
+    if isinstance(faults, FaultPlan):
+        fstate: FaultState | None = faults.activate(nproc)
+    else:
+        fstate = faults
+    if fstate is not None and fstate.nproc != nproc:
+        raise ValueError(f"fault state is for {fstate.nproc} ranks, build has {nproc}")
     with tracer.span("gtfock_build", cat="fock", nproc=nproc, nbf=nbf) as top:
         with tracer.span("setup", cat="fock"):
             if screen is None:
                 screen = ScreeningMap(basis, engine.schwarz(), tau)
             part = StaticPartition.build(basis.nshells, nproc)
             rb, cb = part.matrix_bounds(basis)
-            stats = CommStats(nproc, config)
+            stats = CommStats(nproc, config, faults=fstate)
             ga_d = GlobalArray(stats, nbf, nbf, rb, cb)
             ga_d.load(density)
             ga_g = GlobalArray(stats, nbf, nbf, rb, cb)
@@ -132,6 +161,14 @@ def gtfock_build(
             offsets = basis.offsets
             bufs = [_ProcessBuffers(nbf) for _ in range(nproc)]
             slices = basis.shell_slices
+            if fstate is not None:
+                for p in range(nproc):
+                    def fetch(rows, cols, p=p):
+                        return ga_d.get(
+                            p, rows.start, rows.stop, cols.start, cols.stop,
+                            channel=CH_TASK_GET,
+                        )
+                    bufs[p].fetch = fetch
 
         # -- prefetch phase (Algorithm 4, line 3) ----------------------------
         own_masks: list[np.ndarray] = []
@@ -205,10 +242,13 @@ def gtfock_build(
                 on_steal=on_steal,
                 enable_stealing=enable_stealing,
                 tracer=tracer,
+                faults=fstate,
+                rng=fstate.rng if fstate is not None else None,
             )
 
         # -- final flush (Algorithm 4, line 9) --------------------------------
         with tracer.span("flush", cat="fock"):
+            dead = set(outcome.dead_ranks)
 
             def acc_bbox(p: int, g: np.ndarray, channel: str) -> None:
                 nz = np.nonzero(g)
@@ -216,9 +256,18 @@ def gtfock_build(
                     return
                 r0, r1 = int(nz[0].min()), int(nz[0].max()) + 1
                 c0, c1 = int(nz[1].min()), int(nz[1].max()) + 1
-                ga_g.acc(p, r0, c0, g[r0:r1, c0:c1], channel=channel)
+                epoch = ("flush", p) if fstate is not None else None
+                tag = ("flush", p, channel) if fstate is not None else None
+                ga_g.acc(
+                    p, r0, c0, g[r0:r1, c0:c1], channel=channel,
+                    tag=tag, epoch=epoch,
+                )
 
             for p in range(nproc):
+                if p in dead:
+                    # the rank's J/K buffers died with it; its work was
+                    # re-executed (and will be flushed) by survivors
+                    continue
                 clock0 = float(stats.clock[p])
                 g = 2.0 * bufs[p].j - bufs[p].k
                 if not g.any():
@@ -229,14 +278,21 @@ def gtfock_build(
                 # tasks and goes out on its own channel (non-thieves emit
                 # exactly the single acc they always did)
                 own = own_masks[p]
+                if fstate is not None:
+                    ga_g.begin_epoch(("flush", p))
                 acc_bbox(p, np.where(own, g, 0.0), CH_FOCK_ACC)
                 acc_bbox(p, np.where(own, 0.0, g), CH_STEAL_F)
+                if fstate is not None:
+                    ga_g.commit_epoch(("flush", p))
                 tracer.virtual_span(
                     "flush", p, clock0, float(stats.clock[p]), cat="comm"
                 )
             fock = hcore + ga_g.to_numpy()
         top["steals"] = len(outcome.steals)
         top["quartets"] = float(outcome.executed_tasks.sum())
+        if fstate is not None:
+            top["dead_ranks"] = len(outcome.dead_ranks)
+            top["reexecuted"] = outcome.reexecuted_tasks
     return GTFockBuildResult(
         fock=fock,
         stats=stats,
@@ -244,4 +300,5 @@ def gtfock_build(
         partition=part,
         screen=screen,
         costs=costs,
+        faults=fstate,
     )

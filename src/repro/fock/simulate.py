@@ -28,6 +28,7 @@ from repro.fock.prefetch import block_footprint, ga_calls_for_footprint
 from repro.fock.screening_map import ScreeningMap
 from repro.fock.stealing import run_work_stealing
 from repro.obs.flight import CH_FOCK_ACC, CH_PREFETCH_GET, CH_TASK_GET
+from repro.runtime.faults import FaultPlan, FaultState
 from repro.runtime.machine import LONESTAR, MachineConfig
 from repro.runtime.network import CommStats
 
@@ -65,6 +66,14 @@ class FockSimResult:
     comm_summary: dict = field(default_factory=dict)
     #: all-rank bytes per flight-recorder channel (Table VI decomposition)
     comm_by_channel: dict = field(default_factory=dict)
+    #: ranks killed by the fault plan (empty outside fault injection)
+    dead_ranks: list = field(default_factory=list)
+    #: tasks whose results died with their rank and were re-executed
+    reexecuted_tasks: int = 0
+    #: orphan-adoption events by survivors
+    recoveries: int = 0
+    #: retry/backoff/ack-loss totals (:meth:`FaultState.overhead_summary`)
+    fault_overhead: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -110,12 +119,18 @@ def simulate_gtfock(
     costs: TaskCosts | None = None,
     enable_stealing: bool = True,
     molecule_name: str = "",
+    faults: FaultPlan | FaultState | None = None,
 ) -> FockSimResult:
     """Simulate the paper's algorithm at ``cores`` total cores.
 
     GTFock runs one process per node with node-wide threading
     (Sec IV-A), so ``nproc = max(1, cores // cores_per_node)`` and each
     process computes ERIs at node rate.
+
+    ``faults`` runs the timing simulation under fault injection: the
+    result additionally carries dead ranks, re-executed task counts and
+    retry overhead, and every retried transfer shows up on the
+    flight recorder's ``retry`` channel.
     """
     if cores < 1:
         raise ValueError("cores must be >= 1")
@@ -124,8 +139,12 @@ def simulate_gtfock(
     if costs is None:
         costs = quartet_cost_matrix(screen)
     ns = basis.nshells
+    if isinstance(faults, FaultPlan):
+        fstate: FaultState | None = faults.activate(nproc)
+    else:
+        fstate = faults
     part = StaticPartition.build(ns, nproc)
-    stats = CommStats(nproc, config)
+    stats = CommStats(nproc, config, faults=fstate)
 
     # -- prefetch: exact union footprint volume, boxed-region call count ----
     footprint_bytes = np.zeros(nproc)
@@ -174,18 +193,25 @@ def simulate_gtfock(
         stats=stats,
         steal_cost=steal_cost,
         enable_stealing=enable_stealing,
+        faults=fstate,
+        rng=fstate.rng if fstate is not None else None,
     )
 
     # -- final flush of the F buffers ----------------------------------------
     finish = outcome.finish_time.copy()
+    dead = set(outcome.dead_ranks)
     for p in range(nproc):
+        if p in dead:
+            continue  # a dead rank never flushes; survivors re-flushed its work
         fp_calls = 3  # three near-contiguous F regions accumulated back
-        dt = config.transfer_time(footprint_bytes[p], fp_calls)
+        clock0 = float(stats.clock[p])
         stats.charge_comm(
             p, footprint_bytes[p], ncalls=fp_calls, remote=True,
             channel=CH_FOCK_ACC,
         )
-        finish[p] += dt
+        # clock delta, not transfer_time: under fault injection the
+        # flush also pays retries and backoff
+        finish[p] += float(stats.clock[p]) - clock0
 
     return _finalize(
         "gtfock",
@@ -198,6 +224,10 @@ def simulate_gtfock(
         queue_ops_avg=float(outcome.queue_ops.mean()),
         total_eris=costs.total_eris,
         ntasks=ns * ns,
+        dead_ranks=list(outcome.dead_ranks),
+        reexecuted_tasks=int(outcome.reexecuted_tasks),
+        recoveries=len(outcome.recoveries),
+        fault_overhead=fstate.overhead_summary() if fstate is not None else {},
     )
 
 

@@ -11,6 +11,18 @@ whole queue is one event, split lazily when a thief interrupts it.  The
 ``on_task`` callback makes the same machinery drive both timing-only runs
 and numeric builds (where the callback computes real ERIs into the
 executing process's buffers).
+
+Fault tolerance (``faults=``): the scheduler honors a
+:class:`~repro.runtime.faults.FaultState` -- stragglers execute their
+batches slower, completion events can be delivered late, and a rank can
+die at a virtual time.  Death is survivable by construction: tasks are
+idempotent ERI batches accumulated into rank-local F buffers and flushed
+once, so a dead rank's queued *and* executed-but-unflushed tasks simply
+re-enter the pool (the orphan queue) and are re-executed by survivors.
+Thieves detect a dead victim on probe (its queue is gone); idle ranks
+adopt orphans before declaring themselves done, and a death that fires
+after everyone drained wakes the earliest-idle survivor.  See
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -24,6 +36,7 @@ import numpy as np
 from repro.obs import Tracer, get_tracer
 from repro.obs.flight import CH_QUEUE, CH_STEAL_TASK
 from repro.runtime.event import EventQueue
+from repro.runtime.faults import FaultState
 from repro.runtime.network import CommStats
 
 
@@ -33,6 +46,17 @@ class StealRecord:
     thief: int
     victim: int
     ntasks: int
+
+
+@dataclass
+class RecoveryRecord:
+    """A survivor adopting orphaned tasks of a dead rank."""
+
+    time: float
+    rank: int
+    ntasks: int
+    #: how many of the adopted tasks had already been executed (and lost)
+    reexecuted: int
 
 
 @dataclass
@@ -48,6 +72,14 @@ class StealingOutcome:
     steals: list[StealRecord] = field(default_factory=list)
     #: per-process local queue accesses (atomic ops on local queues)
     queue_ops: np.ndarray | None = None
+    #: ranks that died during the run (fault injection)
+    dead_ranks: list[int] = field(default_factory=list)
+    #: orphan adoptions by survivors (fault injection)
+    recoveries: list[RecoveryRecord] = field(default_factory=list)
+    #: tasks executed by a dead rank whose results were lost + re-executed
+    reexecuted_tasks: int = 0
+    #: per-rank task execution history (only kept under fault injection)
+    executed_history: list[list[Any]] | None = None
 
     @property
     def makespan(self) -> float:
@@ -66,7 +98,7 @@ class StealingOutcome:
 
 
 class _ProcState:
-    __slots__ = ("tasks", "costs", "cum", "start", "active")
+    __slots__ = ("tasks", "costs", "cum", "start", "active", "factor")
 
     def __init__(self) -> None:
         self.tasks: list[Any] = []
@@ -74,13 +106,20 @@ class _ProcState:
         self.cum: list[float] = []
         self.start = 0.0
         self.active = False
+        self.factor = 1.0
 
-    def begin(self, tasks: list, costs: list[float], start: float) -> float:
+    def begin(
+        self, tasks: list, costs: list[float], start: float, factor: float = 1.0
+    ) -> float:
+        """Start a batch; ``costs`` are *base* costs, ``factor`` is the
+        executing rank's straggler slowdown (stolen tasks run at the
+        thief's rate, not the victim's)."""
         self.tasks = tasks
         self.costs = costs
-        self.cum = list(np.cumsum(costs)) if costs else []
+        self.cum = list(np.cumsum(costs) * factor) if costs else []
         self.start = start
         self.active = bool(tasks)
+        self.factor = factor
         return start + (self.cum[-1] if self.cum else 0.0)
 
     def completed_by(self, t: float) -> int:
@@ -112,6 +151,9 @@ def victim_scan_order(proc: int, prow: int, pcol: int) -> list[int]:
     return order
 
 
+_DEATH = "death"  # event-key marker for scheduled rank deaths
+
+
 def run_work_stealing(
     queues: list[list[Any]],
     cost_of: Callable[[Any], float],
@@ -124,6 +166,9 @@ def run_work_stealing(
     steal_fraction: float = 0.5,
     min_steal: int = 1,
     tracer: Tracer | None = None,
+    faults: FaultState | None = None,
+    rng: np.random.Generator | None = None,
+    on_recover: Callable[[int, list[Any]], None] | None = None,
 ) -> StealingOutcome:
     """Simulate the work-stealing execution of per-process task queues.
 
@@ -142,7 +187,9 @@ def run_work_stealing(
         ``steal_cost(thief, victim) -> seconds`` charged to the thief per
         steal (D-buffer copy + queue atomics).  Zero if omitted.
     on_task:
-        Invoked as ``on_task(executing_proc, task)`` for every task, once.
+        Invoked as ``on_task(executing_proc, task)`` for every task, once
+        per *execution* -- under fault injection a task lost to a rank
+        death is re-executed (and the callback re-fires) on a survivor.
     on_steal:
         Invoked as ``on_steal(thief, victim)`` at steal time -- numeric
         builds use it to copy the victim's local D buffer to the thief.
@@ -157,6 +204,20 @@ def run_work_stealing(
         its rank's trace thread with *exact* scheduler times, and every
         steal / idle transition an instant event carrying victim, batch
         size, and the number of victim-queue probes scanned.
+    faults:
+        Activated fault plan: straggler slowdowns scale batch costs,
+        delayed messages perturb completion events, and rank deaths
+        orphan the dead rank's unflushed tasks back into the pool.
+    rng:
+        Seeded generator for steal tie-breaks: when given, each steal
+        attempt scans a seeded permutation of the victim order instead
+        of the fixed row-wise scan, making contention patterns
+        reproducible from the seed (chaos runs pass the fault state's
+        generator).
+    on_recover:
+        Invoked as ``on_recover(rank, tasks)`` when a survivor adopts
+        orphaned tasks (numeric builds may prefetch the tasks' D blocks
+        here; the GTFock build instead falls back to on-demand fetches).
     """
     if tracer is None:
         tracer = get_tracer()
@@ -168,7 +229,9 @@ def run_work_stealing(
         raise ValueError("steal_fraction must be in (0, 1]")
 
     states = [_ProcState() for _ in range(nproc)]
-    events = EventQueue()
+    events = EventQueue(
+        perturb=faults.perturb_event if faults is not None else None
+    )
     finish = np.zeros(nproc)
     executed_cost = np.zeros(nproc)
     executed_tasks = np.zeros(nproc, dtype=np.int64)
@@ -176,31 +239,116 @@ def run_work_stealing(
     steals: list[StealRecord] = []
     scan_orders = [victim_scan_order(p, prow, pcol) for p in range(nproc)]
     done = np.zeros(nproc, dtype=bool)
+    dead = np.zeros(nproc, dtype=bool)
+
+    track_faults = faults is not None
+    #: per-rank (task, base_cost) execution history, for death recovery
+    history: list[list[tuple[Any, float]]] = [[] for _ in range(nproc)]
+    #: (task, base_cost, was_executed) blocks orphaned by rank deaths
+    orphans: list[tuple[Any, float, bool]] = []
+    recoveries: list[RecoveryRecord] = []
+    reexecuted = 0
+
+    def factor_of(p: int) -> float:
+        return faults.compute_factor(p) if faults is not None else 1.0
 
     for p in range(nproc):
         start = float(stats.clock[p]) if stats is not None else 0.0
         costs = [cost_of(t) for t in queues[p]]
-        end = states[p].begin(list(queues[p]), costs, start)
+        end = states[p].begin(list(queues[p]), costs, start, factor_of(p))
         queue_ops[p] += 1  # one atomic enqueue of the whole initial block
         if stats is not None:
             stats.flight.record_op(p, CH_QUEUE)
         events.schedule(end, p)
+    if faults is not None:
+        for p, t_death in faults.plan.deaths.items():
+            if 0 <= p < nproc:
+                events.schedule(float(t_death), (_DEATH, p))
 
-    def commit(proc: int, tasks: list[Any], costs: list[float]) -> None:
-        executed_cost[proc] += float(sum(costs))
+    def commit(proc: int, tasks: list[Any], costs: list[float], factor: float) -> None:
+        executed_cost[proc] += float(sum(costs)) * factor
         executed_tasks[proc] += len(tasks)
+        if track_faults:
+            history[proc].extend(zip(tasks, costs))
         if on_task is not None:
             for t in tasks:
                 on_task(proc, t)
+
+    def adopt_orphans(p: int, t: float) -> bool:
+        """Rank ``p`` takes a block from the orphan pool at time ``t``."""
+        nonlocal reexecuted
+        if not orphans or dead[p]:
+            return False
+        n = max(1, int(len(orphans) * steal_fraction))
+        take = orphans[-n:]
+        del orphans[-n:]
+        tasks = [x[0] for x in take]
+        costs = [x[1] for x in take]
+        nre = sum(1 for x in take if x[2])
+        reexecuted += nre
+        queue_ops[p] += 1  # atomic pop from the recovery pool
+        if stats is not None:
+            stats.flight.record_op(p, CH_STEAL_TASK)
+        if on_recover is not None:
+            on_recover(p, tasks)
+        done[p] = False
+        end = states[p].begin(tasks, costs, t, factor_of(p))
+        events.schedule(end, p)
+        recoveries.append(RecoveryRecord(t, p, len(take), nre))
+        tracer.virtual_instant(
+            "recover", p, t, cat="sched", ntasks=len(take), reexecuted=nre
+        )
+        return True
+
+    def kill(p: int, t: float) -> None:
+        """Execute rank ``p``'s death at virtual time ``t``."""
+        st = states[p]
+        dead[p] = True
+        # everything this rank executed since its last (never-happened)
+        # flush is lost with its memory; queued work is lost with it too
+        lost: list[tuple[Any, float, bool]] = [
+            (task, cost, True) for task, cost in history[p]
+        ]
+        history[p].clear()
+        if st.active:
+            k = st.completed_by(t)
+            for i, (task, cost) in enumerate(zip(st.tasks, st.costs)):
+                lost.append((task, cost, i < k))
+            # the rank did burn real time on the partial batch
+            burned = min(max(t - st.start, 0.0), st.cum[-1] if st.cum else 0.0)
+            executed_cost[p] += burned
+            st.active = False
+            st.tasks, st.costs, st.cum = [], [], []
+        events.cancel(p)
+        if not done[p]:
+            finish[p] = t
+            done[p] = True
+        orphans.extend(lost)
+        tracer.virtual_instant(
+            "death", p, t, cat="sched", orphaned=len(lost)
+        )
+        # wake idle survivors: a death after the pool drained would
+        # otherwise strand its orphans forever
+        for q in sorted(
+            (q for q in range(nproc) if done[q] and not dead[q]),
+            key=lambda q: finish[q],
+        ):
+            if not orphans:
+                break
+            adopt_orphans(q, max(t, float(finish[q])))
 
     while True:
         ev = events.pop()
         if ev is None:
             break
-        t, p = ev
+        t, key = ev
+        if isinstance(key, tuple) and key[0] == _DEATH:
+            kill(key[1], t)
+            continue
+        p = key
         st = states[p]
         # the whole (possibly shrunk) batch has run to completion
-        commit(p, st.tasks, st.costs)
+        commit(p, st.tasks, st.costs, st.factor)
         if tracer.enabled and st.tasks:
             tracer.virtual_span(
                 "batch", p, st.start, t, cat="sched", ntasks=len(st.tasks)
@@ -216,16 +364,25 @@ def run_work_stealing(
         st.active = False
         st.tasks, st.costs, st.cum = [], [], []
 
+        # orphaned work outranks stealing: it is the only copy left
+        if adopt_orphans(p, t):
+            continue
+
         stolen = False
         probes = 0
         if enable_stealing:
-            for victim in scan_orders[p]:
+            order = scan_orders[p]
+            if rng is not None:
+                order = [order[i] for i in rng.permutation(len(order))]
+            for victim in order:
                 queue_ops[p] += 1  # probe the victim's queue
                 if stats is not None:
                     stats.flight.record_op(p, CH_STEAL_TASK)
                 probes += 1
                 vs = states[victim]
-                if not vs.active:
+                if dead[victim] or not vs.active:
+                    # a dead victim's queue no longer exists: the probe
+                    # comes back empty and the thief moves on
                     continue
                 lo = vs.stealable_after(t)
                 avail = len(vs.tasks) - lo
@@ -251,7 +408,7 @@ def run_work_stealing(
                 start = t + dt
                 if stats is not None and dt > 0:
                     stats.comm_time[p] += dt
-                end = states[p].begin(stolen_tasks, stolen_costs, start)
+                end = states[p].begin(stolen_tasks, stolen_costs, start, factor_of(p))
                 events.schedule(end, p)
                 steals.append(StealRecord(t, p, victim, len(stolen_tasks)))
                 tracer.virtual_instant(
@@ -276,4 +433,8 @@ def run_work_stealing(
         executed_tasks=executed_tasks,
         steals=steals,
         queue_ops=queue_ops,
+        dead_ranks=sorted(int(p) for p in np.flatnonzero(dead)),
+        recoveries=recoveries,
+        reexecuted_tasks=reexecuted,
+        executed_history=history if track_faults else None,
     )

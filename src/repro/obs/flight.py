@@ -20,6 +20,8 @@ channel         traffic
 ``steal_task``   queue atomics of the steal protocol (ops, no payload bytes)
 ``queue``        local task-queue atomics outside a steal
 ``counter``      ``NGA_Read_inc`` hits on the centralized scheduler counter
+``retry``        fault-injected transient-op retries: re-sent payloads plus
+                 exponential-backoff and injected-delay time (chaos runs)
 ``barrier`` / ``allreduce`` / ``broadcast`` / ``reduce_scatter``  collectives
 ``ga``           untagged :class:`GlobalArray` traffic (default channel)
 =============== ============================================================
@@ -62,6 +64,8 @@ CH_STEAL_F = "steal_f"
 CH_QUEUE = "queue"
 #: Centralized-scheduler shared-counter accesses.
 CH_COUNTER = "counter"
+#: Fault-injected transient-op retries (re-sent bytes, backoff + delay time).
+CH_RETRY = "retry"
 CH_BARRIER = "barrier"
 CH_ALLREDUCE = "allreduce"
 CH_BROADCAST = "broadcast"
@@ -79,6 +83,7 @@ CHANNELS = (
     CH_STEAL_TASK,
     CH_QUEUE,
     CH_COUNTER,
+    CH_RETRY,
     CH_BARRIER,
     CH_ALLREDUCE,
     CH_BROADCAST,

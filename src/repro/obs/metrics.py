@@ -303,6 +303,52 @@ def export_commstats(
     return reg
 
 
+def export_faults(
+    state,
+    outcome=None,
+    registry: MetricsRegistry | None = None,
+    prefix: str = "repro_faults",
+) -> MetricsRegistry:
+    """Export a run's fault-injection/recovery counters.
+
+    ``state`` is a :class:`~repro.runtime.faults.FaultState`; ``outcome``
+    (optional) a :class:`~repro.fock.stealing.StealingOutcome` whose
+    death/re-execution counters are included when given.
+    """
+    reg = registry if registry is not None else get_metrics()
+    retries = reg.counter(
+        f"{prefix}_retries_total", "transient-failure retries charged",
+        labelnames=("proc",),
+    )
+    acks = reg.counter(
+        f"{prefix}_acks_lost_total", "applied-but-unacknowledged accumulates",
+        labelnames=("proc",),
+    )
+    delay = reg.gauge(
+        f"{prefix}_delay_seconds", "injected message-delay virtual time",
+        labelnames=("proc",),
+    )
+    for p in range(state.nproc):
+        retries.inc(int(state.retries[p]), proc=p)
+        acks.inc(int(state.acks_lost[p]), proc=p)
+        delay.set(float(state.delay_time[p]), proc=p)
+    reg.gauge(
+        f"{prefix}_planned_deaths", "rank deaths in the fault plan"
+    ).set(len(state.plan.deaths))
+    if outcome is not None:
+        reg.gauge(
+            f"{prefix}_dead_ranks", "ranks that died during the run"
+        ).set(len(outcome.dead_ranks))
+        reg.gauge(
+            f"{prefix}_reexecuted_tasks",
+            "tasks lost to rank death and re-executed by survivors",
+        ).set(int(outcome.reexecuted_tasks))
+        reg.gauge(
+            f"{prefix}_recoveries", "orphan-adoption events by survivors"
+        ).set(len(outcome.recoveries))
+    return reg
+
+
 _registry = MetricsRegistry()
 
 

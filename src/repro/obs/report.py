@@ -446,6 +446,9 @@ class RunReport:
     summary: dict
     trace: dict | None = None
     notes: list[str] = field(default_factory=list)
+    #: fault-injection/recovery summary (chaos runs only); see
+    #: ``docs/ROBUSTNESS.md`` for the fields
+    recovery: dict | None = None
 
     @property
     def load_balance(self) -> float:
@@ -499,6 +502,39 @@ def render_report(r: RunReport) -> str:
         if dropped
         else ""
     )
+
+    recovery_html = ""
+    if r.recovery is not None:
+        rec = r.recovery
+        inv_badge = _badge(PASS if rec.get("passed", False) else FAIL)
+        rec_tiles = (
+            (f"{rec.get('fock_error', 0.0):.2e}", "max |dF| vs fault-free"),
+            (str(rec.get("dead_ranks", [])), "dead ranks"),
+            (str(rec.get("reexecuted_tasks", 0)), "re-executed tasks"),
+            (str(rec.get("recoveries", 0)), "orphan adoptions"),
+            (str(rec.get("retries_total", 0)), "op retries"),
+            (str(rec.get("acks_lost_total", 0)), "acks lost"),
+            (_fmt_bytes(rec.get("retry_bytes", 0)), "retry bytes"),
+            (f"x{rec.get('slowdown', 1.0):.2f}", "makespan vs fault-free"),
+        )
+        rec_tiles_html = "".join(
+            f'<div class="tile"><div class="v">{_esc(v)}</div>'
+            f'<div class="l">{_esc(label)}</div></div>'
+            for v, label in rec_tiles
+        )
+        recovery_html = (
+            "<section><h2>Fault injection &amp; recovery</h2>"
+            f'<p class="caption">Plan: <code>{_esc(rec.get("plan", ""))}'
+            "</code> &mdash; chaos invariant (faulted Fock matrix equals "
+            f"the fault-free one to &le; {rec.get('tolerance', 1e-12):.0e}) "
+            f"{inv_badge}</p>"
+            f'<div class="tiles">{rec_tiles_html}</div>'
+            '<p class="caption">Recovery overhead is visible above: the '
+            "<code>retry</code> heatmap column carries every re-sent "
+            "payload and injected delay, and re-executed tasks inflate "
+            "the survivors' compute bars. See docs/ROBUSTNESS.md for the "
+            "taxonomy and protocol.</p></section>"
+        )
 
     ops_chans = [c for c in chans if np.any(r.flight.per_rank(c, "ops"))]
     ops_html = ""
@@ -582,6 +618,8 @@ measurements; a metric warns/fails when measured/model (folded to
 {validation_table_html(r.validation)}
 {notes_html}
 </section>
+
+{recovery_html}
 
 {ops_html and f'<section>{ops_html}</section>'}
 
@@ -688,6 +726,57 @@ def run_report(
         ],
     )
     return report, result
+
+
+def chaos_report(cres: Any, trace: dict | None = None) -> RunReport:
+    """Assemble a :class:`RunReport` for a chaos run's *faulted* build.
+
+    ``cres`` is a :class:`~repro.fock.chaos.ChaosResult`; the report is
+    the ordinary run report of the faulted build plus the fault-
+    injection/recovery section (``recovery``).
+    """
+    from repro.model.perfmodel import PerfModel
+    from repro.obs.validate import validate_run
+
+    result = cres.faulty
+    stats = result.stats
+    stats.flight.check_against(stats)
+    s_measured = result.outcome.avg_steals_per_proc
+    model = PerfModel.from_screening(result.screen, stats.config, s=s_measured)
+    validation = validate_run(model, stats, s_measured=s_measured)
+    basis = result.screen.basis
+    recovery = dict(cres.overhead)
+    recovery.update(
+        passed=cres.passed,
+        fock_error=cres.fock_error,
+        energy_error=cres.energy_error,
+        tolerance=cres.tolerance,
+        plan=cres.plan.describe(),
+    )
+    return RunReport(
+        title=(
+            f"{cres.molecule}-{cres.basis_name}-p{cres.nproc}"
+            f"-chaos-seed{cres.plan.seed}"
+        ),
+        molecule=cres.molecule,
+        basis_name=cres.basis_name,
+        nproc=cres.nproc,
+        nbf=basis.nbf,
+        nshells=basis.nshells,
+        flight=stats.flight,
+        comp_time=stats.comp_time.copy(),
+        comm_time=stats.comm_time.copy(),
+        finish_time=result.outcome.finish_time.copy(),
+        steals=result.outcome.steals,
+        validation=validation,
+        summary=stats.summary(),
+        trace=trace,
+        notes=[
+            "this run executed under fault injection: model-vs-measured "
+            "deviations include recovery overhead by design",
+        ],
+        recovery=recovery,
+    )
 
 
 def write_report(path: str, report: RunReport) -> None:

@@ -11,16 +11,26 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any
+from typing import Any, Callable
 
 
 class EventQueue:
-    """Time-ordered event queue with per-key lazy invalidation."""
+    """Time-ordered event queue with per-key lazy invalidation.
 
-    def __init__(self) -> None:
+    ``perturb`` is an optional hook consulted on every :meth:`schedule`:
+    it maps ``(time, key) -> time'`` and models delayed delivery of the
+    underlying completion message (fault injection supplies
+    :meth:`~repro.runtime.faults.FaultState.perturb_event` here).  A
+    perturbation may only postpone an event, never move it earlier.
+    """
+
+    def __init__(
+        self, perturb: Callable[[float, Any], float] | None = None
+    ) -> None:
         self._heap: list[tuple[float, int, Any, int]] = []
         self._version: dict[Any, int] = {}
         self._counter = itertools.count()
+        self._perturb = perturb
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -32,6 +42,14 @@ class EventQueue:
         """
         if time < 0:
             raise ValueError(f"negative event time {time}")
+        if self._perturb is not None:
+            perturbed = self._perturb(time, key)
+            if perturbed < time:
+                raise ValueError(
+                    f"perturbation moved event for {key!r} earlier "
+                    f"({perturbed} < {time}); delays only"
+                )
+            time = perturbed
         version = self._version.get(key, 0) + 1
         self._version[key] = version
         heapq.heappush(self._heap, (time, next(self._counter), key, version))

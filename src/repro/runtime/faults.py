@@ -1,0 +1,280 @@
+"""Fault injection for the simulated runtime (chaos engineering layer).
+
+The paper's work-stealing scheduler (Sec III-F) assumes every rank
+survives and every one-sided GA op succeeds -- the assumptions that break
+first at scale.  This module makes failure a *declarative, seeded input*
+of a simulated run:
+
+* :class:`FaultPlan` -- what goes wrong: per-rank straggler slowdowns,
+  transient one-sided op failures (retried with exponential backoff,
+  charged to the virtual clock on the ``retry`` flight channel), delayed
+  messages, and hard rank death at a virtual time;
+* :class:`FaultState` -- the activated plan: one seeded
+  :class:`numpy.random.Generator` drives every draw (op failures, ack
+  loss, delays, victim tie-breaks), so a chaos run is reproducible from
+  its seed alone;
+* :func:`random_plan` -- a seeded random plan generator used by the
+  ``repro chaos`` CLI and the chaos benchmark.
+
+Consumers: :class:`~repro.runtime.network.CommStats` charges retries and
+delays, :class:`~repro.runtime.ga.GlobalArray` models ack-lost
+accumulates (exactly-once via tags/epochs), the
+:class:`~repro.runtime.event.EventQueue` perturbs scheduler events, and
+:func:`~repro.fock.stealing.run_work_stealing` executes rank deaths and
+task recovery.  See ``docs/ROBUSTNESS.md`` for the fault taxonomy and
+the recovery protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class FaultError(RuntimeError):
+    """A fault the runtime could not absorb (e.g. retries exhausted)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of everything that goes wrong in a run.
+
+    All randomness derives from ``seed``; activating the same plan twice
+    yields identical failure sequences (given the same execution).
+
+    Parameters
+    ----------
+    seed:
+        Seed of the single :class:`numpy.random.Generator` behind every
+        draw the plan makes.
+    slowdown:
+        Per-rank compute slowdown factors (straggler model): rank ``p``
+        executes tasks ``slowdown[p]`` times slower.  Factors must be
+        ``>= 1``.
+    deaths:
+        ``rank -> virtual time`` of hard, permanent rank death.  A dead
+        rank stops executing, its queued *and* already-executed-but-
+        unflushed tasks re-enter the pool, and it never flushes.
+    op_fail_rate:
+        Per-attempt probability that a remote one-sided op transiently
+        fails.  Failed attempts are retried with exponential backoff;
+        each retry re-sends the payload (counted on the ``retry``
+        channel) and waits ``backoff_base * backoff_factor**k``.
+    max_retries:
+        Give up (raise :class:`FaultError`) after this many consecutive
+        failures of one op -- the fault is no longer transient.
+    ack_loss_rate:
+        Fraction of failed put/acc attempts where the *mutation applied*
+        but the acknowledgement was lost.  A blind retry of a non-
+        idempotent ``GA_Acc`` would then double-apply -- unless the
+        target deduplicates by tag (see :meth:`GlobalArray.acc`).
+    delay_rate / delay_seconds:
+        With probability ``delay_rate``, an op (or a scheduler event) is
+        delayed by ``uniform(0, delay_seconds)`` of virtual time.
+    """
+
+    seed: int = 0
+    slowdown: dict[int, float] = field(default_factory=dict)
+    deaths: dict[int, float] = field(default_factory=dict)
+    op_fail_rate: float = 0.0
+    max_retries: int = 16
+    backoff_base: float = 20e-6
+    backoff_factor: float = 2.0
+    ack_loss_rate: float = 0.5
+    delay_rate: float = 0.0
+    delay_seconds: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.op_fail_rate < 1.0:
+            raise ValueError(f"op_fail_rate must be in [0, 1), got {self.op_fail_rate}")
+        if not 0.0 <= self.ack_loss_rate <= 1.0:
+            raise ValueError(f"ack_loss_rate must be in [0, 1], got {self.ack_loss_rate}")
+        if not 0.0 <= self.delay_rate <= 1.0:
+            raise ValueError(f"delay_rate must be in [0, 1], got {self.delay_rate}")
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {self.max_retries}")
+        if self.backoff_base < 0 or self.delay_seconds < 0:
+            raise ValueError("backoff_base and delay_seconds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        for rank, f in self.slowdown.items():
+            if f < 1.0:
+                raise ValueError(f"slowdown[{rank}] must be >= 1, got {f}")
+        for rank, t in self.deaths.items():
+            if t < 0:
+                raise ValueError(f"deaths[{rank}] must be a time >= 0, got {t}")
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(
+            self.slowdown
+            or self.deaths
+            or self.op_fail_rate
+            or self.delay_rate
+        )
+
+    def activate(self, nproc: int) -> "FaultState":
+        """Instantiate the plan for an ``nproc``-rank run."""
+        return FaultState(self, nproc)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.deaths:
+            parts.append(
+                "deaths=" + ",".join(f"r{p}@{t:.3g}s" for p, t in sorted(self.deaths.items()))
+            )
+        if self.slowdown:
+            parts.append(
+                "slow=" + ",".join(f"r{p}x{f:g}" for p, f in sorted(self.slowdown.items()))
+            )
+        if self.op_fail_rate:
+            parts.append(f"op_fail={self.op_fail_rate:g}")
+        if self.delay_rate:
+            parts.append(f"delay={self.delay_rate:g}x{self.delay_seconds:g}s")
+        return " ".join(parts)
+
+
+class FaultState:
+    """An activated :class:`FaultPlan`: the rng plus recovery counters.
+
+    One instance per simulated run.  Every random decision -- op
+    failures, ack loss, message delays, steal tie-breaks -- consumes the
+    same seeded generator, so a run is a pure function of
+    ``(inputs, plan)``.
+    """
+
+    def __init__(self, plan: FaultPlan, nproc: int):
+        if nproc < 1:
+            raise ValueError(f"need at least one rank, got {nproc}")
+        live = nproc - sum(1 for p in plan.deaths if 0 <= p < nproc)
+        if live < 1:
+            raise ValueError("a FaultPlan must leave at least one rank alive")
+        self.plan = plan
+        self.nproc = nproc
+        self.rng = np.random.default_rng(plan.seed)
+        #: transient-failure retries charged, per rank
+        self.retries = np.zeros(nproc, dtype=np.int64)
+        #: ack-lost (applied-but-unacknowledged) accumulate attempts
+        self.acks_lost = np.zeros(nproc, dtype=np.int64)
+        #: injected message-delay seconds, per rank
+        self.delay_time = np.zeros(nproc)
+
+    # -- per-fault draws (all seeded) ----------------------------------------
+
+    def compute_factor(self, rank: int) -> float:
+        """Straggler slowdown multiplier for ``rank`` (1.0 = healthy)."""
+        return float(self.plan.slowdown.get(rank, 1.0))
+
+    def death_time(self, rank: int) -> float | None:
+        """Virtual time at which ``rank`` dies, or None."""
+        t = self.plan.deaths.get(rank)
+        return float(t) if t is not None else None
+
+    def draw_failures(self, rank: int) -> int:
+        """Consecutive transient failures of one op before it succeeds.
+
+        Raises :class:`FaultError` once ``max_retries`` attempts in a
+        row have failed -- the op is treated as permanently broken.
+        """
+        rate = self.plan.op_fail_rate
+        if rate <= 0.0:
+            return 0
+        n = 0
+        while self.rng.random() < rate:
+            n += 1
+            if n >= self.plan.max_retries:
+                raise FaultError(
+                    f"rank {rank}: one-sided op failed {n} consecutive "
+                    f"times (op_fail_rate={rate}); retries exhausted"
+                )
+        return n
+
+    def draw_ack_lost(self, rank: int, nfailures: int) -> int:
+        """How many of ``nfailures`` failed attempts applied their mutation."""
+        if nfailures <= 0 or self.plan.ack_loss_rate <= 0.0:
+            return 0
+        lost = int(self.rng.binomial(nfailures, self.plan.ack_loss_rate))
+        self.acks_lost[rank] += lost
+        return lost
+
+    def draw_delay(self, rank: int) -> float:
+        """Injected delivery delay (seconds) for one op; usually 0."""
+        if self.plan.delay_rate <= 0.0:
+            return 0.0
+        if self.rng.random() >= self.plan.delay_rate:
+            return 0.0
+        d = float(self.plan.delay_seconds * self.rng.random())
+        self.delay_time[rank] += d
+        return d
+
+    def backoff(self, attempt: int) -> float:
+        """Exponential backoff wait before retry ``attempt`` (0-based)."""
+        return float(self.plan.backoff_base * self.plan.backoff_factor**attempt)
+
+    def perturb_event(self, time: float, key) -> float:
+        """Delayed-message jitter for scheduler events.
+
+        Only plain rank-completion events (integer keys) are perturbed;
+        control events (death markers etc.) keep exact times.
+        """
+        if not isinstance(key, (int, np.integer)):
+            return time
+        if self.plan.delay_rate <= 0.0:
+            return time
+        if self.rng.random() >= self.plan.delay_rate:
+            return time
+        return time + float(self.plan.delay_seconds * self.rng.random())
+
+    # -- reporting -----------------------------------------------------------
+
+    def overhead_summary(self) -> dict:
+        """Recovery-overhead counters for reports and the chaos CLI."""
+        return {
+            "retries_total": int(self.retries.sum()),
+            "acks_lost_total": int(self.acks_lost.sum()),
+            "delay_time_total": float(self.delay_time.sum()),
+            "dead_ranks": sorted(int(p) for p in self.plan.deaths),
+            "plan": self.plan.describe(),
+        }
+
+
+def random_plan(
+    seed: int,
+    nproc: int,
+    horizon: float,
+    ndeaths: int = 1,
+    nstragglers: int = 1,
+    slow_factor: float = 3.0,
+    op_fail_rate: float = 0.05,
+    delay_rate: float = 0.05,
+    delay_seconds: float = 100e-6,
+) -> FaultPlan:
+    """Seeded random :class:`FaultPlan` for an ``nproc``-rank run.
+
+    ``horizon`` is the fault-free makespan: deaths are placed uniformly
+    in ``[0.1, 0.7] * horizon`` so they land mid-execution.  The same
+    ``(seed, nproc, horizon, ...)`` always yields the same plan -- the
+    contract behind ``repro chaos --seed``.
+    """
+    if ndeaths >= nproc:
+        raise ValueError(f"cannot kill {ndeaths} of {nproc} ranks (need a survivor)")
+    rng = np.random.default_rng(seed)
+    victims = rng.choice(nproc, size=ndeaths, replace=False) if ndeaths else []
+    deaths = {
+        int(p): float(horizon * rng.uniform(0.1, 0.7)) for p in victims
+    }
+    alive = [p for p in range(nproc) if p not in deaths]
+    nstrag = min(nstragglers, len(alive))
+    stragglers = rng.choice(alive, size=nstrag, replace=False) if nstrag else []
+    slowdown = {
+        int(p): float(rng.uniform(1.5, max(slow_factor, 1.5))) for p in stragglers
+    }
+    return FaultPlan(
+        seed=seed,
+        slowdown=slowdown,
+        deaths=deaths,
+        op_fail_rate=op_fail_rate,
+        delay_rate=delay_rate,
+        delay_seconds=delay_seconds,
+    )

@@ -78,6 +78,10 @@ class GlobalArray:
         self.prow = len(self.row_bounds) - 1
         self.pcol = len(self.col_bounds) - 1
         self.data = np.zeros((rows, cols))
+        #: tags of accumulate ops already applied (exactly-once dedup)
+        self._applied_tags: set = set()
+        #: open epochs: staged (r0, c0, block) accumulates, not yet visible
+        self._staged: dict = {}
 
     @property
     def nproc(self) -> int:
@@ -133,14 +137,36 @@ class GlobalArray:
                 yield self.proc_id(gi, gj), rs, cs
 
     def _charge(
-        self, proc: int, r0: int, r1: int, c0: int, c1: int, channel: str
-    ) -> None:
+        self,
+        proc: int,
+        r0: int,
+        r1: int,
+        c0: int,
+        c1: int,
+        channel: str,
+        want_acks: bool = False,
+    ) -> int:
+        """Charge a request split per owner; returns ack-lost attempt count.
+
+        When a fault state is attached, each per-owner transfer first
+        draws its transient failures (retries charged on the ``retry``
+        channel by :meth:`CommStats.charge_fault_attempts`); the base
+        charge then skips the fault consultation to avoid double draws.
+        """
         es = self.stats.config.element_size
+        lost = 0
         for owner, rs, cs in self._owners_touched(r0, r1, c0, c1, proc):
             nbytes = (rs.stop - rs.start) * (cs.stop - cs.start) * es
+            remote = owner != proc
+            if remote and self.stats.faults is not None:
+                lost += self.stats.charge_fault_attempts(
+                    proc, nbytes, ncalls=1, want_acks=want_acks
+                )
             self.stats.charge_comm(
-                proc, nbytes, ncalls=1, remote=owner != proc, channel=channel
+                proc, nbytes, ncalls=1, remote=remote,
+                channel=channel, draw_faults=False,
             )
+        return lost
 
     def get(
         self, proc: int, r0: int, r1: int, c0: int, c1: int, channel: str = CH_GA
@@ -152,18 +178,80 @@ class GlobalArray:
     def put(
         self, proc: int, r0: int, c0: int, block: np.ndarray, channel: str = CH_GA
     ) -> None:
-        """One-sided write (GA_Put)."""
+        """One-sided write (GA_Put).  Idempotent: retries are harmless."""
         r1, c1 = r0 + block.shape[0], c0 + block.shape[1]
         self._charge(proc, r0, r1, c0, c1, channel)
         self.data[r0:r1, c0:c1] = block
 
     def acc(
-        self, proc: int, r0: int, c0: int, block: np.ndarray, channel: str = CH_GA
+        self,
+        proc: int,
+        r0: int,
+        c0: int,
+        block: np.ndarray,
+        channel: str = CH_GA,
+        tag=None,
+        epoch=None,
     ) -> None:
-        """One-sided atomic accumulate (GA_Acc): ``A[region] += block``."""
+        """One-sided atomic accumulate (GA_Acc): ``A[region] += block``.
+
+        ``GA_Acc`` is *not* idempotent, which makes it the one op where
+        transient failures are dangerous: a failed attempt may have
+        applied its addition before the ack was lost, and a blind retry
+        then double-counts.  Two protocol layers make it exactly-once:
+
+        * ``tag`` -- a unique op id the target remembers; attempts (and
+          any later blind retry) carrying an already-applied tag are
+          dropped.  Untagged accumulates under injected ack loss
+          double-apply -- deliberately, so tests can demonstrate the
+          hazard the tags close.
+        * ``epoch`` -- stage the addition into an open epoch (see
+          :meth:`begin_epoch`) instead of applying it; only
+          :meth:`commit_epoch` makes it visible.  A rank that dies
+          mid-flush leaves an uncommitted epoch behind, so its partial
+          flush is never double-counted against the recovery re-flush.
+        """
         r1, c1 = r0 + block.shape[0], c0 + block.shape[1]
-        self._charge(proc, r0, r1, c0, c1, channel)
-        self.data[r0:r1, c0:c1] += block
+        lost = self._charge(proc, r0, r1, c0, c1, channel, want_acks=True)
+        if tag is not None:
+            if tag in self._applied_tags:
+                return
+            self._applied_tags.add(tag)
+            times = 1  # ack-lost attempts were deduplicated at the target
+        else:
+            times = 1 + lost  # every applied-but-unacked attempt double-counts
+        if times == 0:
+            return
+        contribution = block if times == 1 else times * block
+        if epoch is not None:
+            try:
+                self._staged[epoch].append((r0, c0, contribution.copy()))
+            except KeyError:
+                raise KeyError(f"epoch {epoch!r} is not open") from None
+        else:
+            self.data[r0:r1, c0:c1] += contribution
+
+    # -- epoch protocol (exactly-once flush) ----------------------------------
+
+    def begin_epoch(self, key) -> None:
+        """Open an accumulate epoch: subsequent ``acc(..., epoch=key)``
+        calls stage their additions invisibly until commit."""
+        if key in self._staged:
+            raise ValueError(f"epoch {key!r} is already open")
+        self._staged[key] = []
+
+    def commit_epoch(self, key) -> int:
+        """Atomically apply every staged addition of an epoch; returns
+        the number of staged ops committed."""
+        staged = self._staged.pop(key)
+        for r0, c0, block in staged:
+            self.data[r0 : r0 + block.shape[0], c0 : c0 + block.shape[1]] += block
+        return len(staged)
+
+    def abort_epoch(self, key) -> int:
+        """Discard an epoch's staged additions (e.g. its rank died
+        mid-flush); returns how many staged ops were dropped."""
+        return len(self._staged.pop(key, []))
 
     # -- whole-array helpers (no accounting; test/setup use) -------------------
 

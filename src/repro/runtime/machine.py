@@ -50,12 +50,21 @@ class MachineConfig:
     element_size: int = 8
 
     def __post_init__(self) -> None:
-        check_positive(self.bandwidth, "bandwidth")
-        check_positive(self.latency, "latency")
-        check_positive(self.t_int_gtfock, "t_int_gtfock")
-        check_positive(self.t_int_nwchem, "t_int_nwchem")
+        # every rate/time must be strictly positive: a zero bandwidth
+        # divides by zero in transfer_time, a zero t_int makes every
+        # task free, and negative latencies move clocks backwards --
+        # reject all of them up front with the field name in the error
+        check_positive(self.bandwidth, "bandwidth (bytes/s)")
+        check_positive(self.latency, "latency (s)")
+        check_positive(self.t_int_gtfock, "t_int_gtfock (s/ERI)")
+        check_positive(self.t_int_nwchem, "t_int_nwchem (s/ERI)")
+        check_positive(self.queue_service, "queue_service (s)")
+        check_positive(self.task_overhead, "task_overhead (s)")
+        check_positive(self.element_size, "element_size (bytes)")
         if self.cores_per_node < 1:
-            raise ValueError("cores_per_node must be >= 1")
+            raise ValueError(
+                f"cores_per_node must be >= 1, got {self.cores_per_node}"
+            )
 
     def transfer_time(self, nbytes: float, ncalls: int = 1) -> float:
         """alpha-beta cost of moving ``nbytes`` in ``ncalls`` messages."""

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.obs.flight import CH_GA, CH_STEAL_D, FlightRecorder
+from repro.obs.flight import CH_GA, CH_RETRY, CH_STEAL_D, FlightRecorder
+from repro.runtime.faults import FaultState
 from repro.runtime.machine import MachineConfig
 
 
@@ -27,6 +28,13 @@ class CommStats:
     and is mirrored into the attached :class:`FlightRecorder`, so the
     global Table VI/VII counters and the per-rank/per-channel breakdown
     can never drift apart.
+
+    When a :class:`~repro.runtime.faults.FaultState` is attached, every
+    remote charge first consults it: transient failures re-send the
+    payload (counted in the global Table VI/VII counters *and* on the
+    ``retry`` channel, preserving the exact-decomposition invariant)
+    and wait out an exponential backoff on the virtual clock; injected
+    delivery delays are charged as ``retry``-channel time.
     """
 
     def __init__(
@@ -34,11 +42,17 @@ class CommStats:
         nproc: int,
         config: MachineConfig,
         flight: FlightRecorder | None = None,
+        faults: FaultState | None = None,
     ):
         if nproc < 1:
             raise ValueError(f"need at least one process, got {nproc}")
+        if faults is not None and faults.nproc != nproc:
+            raise ValueError(
+                f"fault state activated for {faults.nproc} ranks, run has {nproc}"
+            )
         self.nproc = nproc
         self.config = config
+        self.faults = faults
         #: per-rank/per-channel breakdown of everything charged below
         self.flight = flight if flight is not None else FlightRecorder(nproc)
         self.calls = np.zeros(nproc, dtype=np.int64)
@@ -56,6 +70,49 @@ class CommStats:
         if not 0 <= proc < self.nproc:
             raise IndexError(f"process {proc} out of range [0, {self.nproc})")
 
+    def charge_fault_attempts(
+        self,
+        proc: int,
+        nbytes: float,
+        ncalls: int = 1,
+        want_acks: bool = False,
+    ) -> int:
+        """Draw and charge transient failures + delay for one remote op.
+
+        Each failed attempt re-sends the payload and waits out an
+        exponential backoff, both charged to the caller's virtual clock
+        and recorded on the ``retry`` channel (payload bytes/calls also
+        count toward the global Table VI/VII counters: they crossed the
+        wire).  Returns the number of failed attempts whose mutation
+        *applied* but whose ack was lost (only drawn when ``want_acks``
+        -- the accumulate exactly-once hazard; see ``GlobalArray.acc``).
+        """
+        if self.faults is None:
+            return 0
+        self._check(proc)
+        nfail = self.faults.draw_failures(proc)
+        for k in range(nfail):
+            dt = self.config.transfer_time(nbytes, ncalls) + self.faults.backoff(k)
+            self.calls[proc] += ncalls
+            self.bytes[proc] += int(nbytes)
+            self.remote_calls[proc] += ncalls
+            self.remote_bytes[proc] += int(nbytes)
+            self.clock[proc] += dt
+            self.comm_time[proc] += dt
+            self.faults.retries[proc] += 1
+            self.flight.record(
+                proc, CH_RETRY, int(nbytes), ncalls, dt, t=float(self.clock[proc])
+            )
+        lost = self.faults.draw_ack_lost(proc, nfail) if want_acks else 0
+        delay = self.faults.draw_delay(proc)
+        if delay > 0.0:
+            self.clock[proc] += delay
+            self.comm_time[proc] += delay
+            self.flight.record(
+                proc, CH_RETRY, 0, 0, delay, t=float(self.clock[proc])
+            )
+        return lost
+
     def charge_comm(
         self,
         proc: int,
@@ -63,9 +120,17 @@ class CommStats:
         ncalls: int = 1,
         remote: bool = True,
         channel: str = CH_GA,
+        draw_faults: bool = True,
     ) -> float:
-        """Account a communication operation; returns the time charged."""
+        """Account a communication operation; returns the time charged.
+
+        ``draw_faults=False`` skips the fault consultation -- used by
+        callers (``GlobalArray``) that already drew and charged this
+        op's failures via :meth:`charge_fault_attempts`.
+        """
         self._check(proc)
+        if remote and draw_faults and self.faults is not None:
+            self.charge_fault_attempts(proc, nbytes, ncalls)
         self.calls[proc] += ncalls
         self.bytes[proc] += int(nbytes)
         dt = 0.0
@@ -96,8 +161,24 @@ class CommStats:
         Unlike :meth:`charge_comm` this does *not* advance the clock --
         the work-stealing scheduler owns the thief's restart time and
         adds the returned transfer time itself (see ``run_work_stealing``).
+        Transient-failure retries are folded into the returned time the
+        same way (counted on the ``retry`` channel).
         """
         self._check(proc)
+        extra = 0.0
+        if self.faults is not None:
+            nfail = self.faults.draw_failures(proc)
+            for k in range(nfail):
+                w = self.config.transfer_time(nbytes, ncalls) + self.faults.backoff(k)
+                self.calls[proc] += ncalls
+                self.bytes[proc] += int(nbytes)
+                self.remote_calls[proc] += ncalls
+                self.remote_bytes[proc] += int(nbytes)
+                self.faults.retries[proc] += 1
+                self.flight.record(
+                    proc, CH_RETRY, int(nbytes), ncalls, w, t=float(self.clock[proc])
+                )
+                extra += w
         self.calls[proc] += ncalls
         self.bytes[proc] += int(nbytes)
         self.remote_calls[proc] += ncalls
@@ -106,7 +187,7 @@ class CommStats:
         self.flight.record(
             proc, channel, int(nbytes), ncalls, dt, t=float(self.clock[proc])
         )
-        return dt
+        return dt + extra
 
     def charge_compute(self, proc: int, seconds: float) -> None:
         """Advance a process's clock by pure computation time."""

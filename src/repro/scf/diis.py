@@ -43,6 +43,28 @@ class DIIS:
         self._focks.append(fock.copy())
         self._errors.append(error.copy())
 
+    def state_arrays(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """The stored (Fock, error) windows, oldest first (checkpointing)."""
+        return list(self._focks), list(self._errors)
+
+    def load_state(
+        self, focks: list[np.ndarray], errors: list[np.ndarray]
+    ) -> None:
+        """Restore a window saved by :meth:`state_arrays`.
+
+        Restoring then extrapolating reproduces the pre-checkpoint
+        trajectory bitwise -- the restart guarantee of
+        ``docs/ROBUSTNESS.md``.
+        """
+        if len(focks) != len(errors):
+            raise ValueError(
+                f"{len(focks)} Fock matrices vs {len(errors)} error vectors"
+            )
+        self._focks.clear()
+        self._errors.clear()
+        for f, e in zip(focks, errors):
+            self.push(f, e)
+
     def extrapolate(self) -> np.ndarray:
         """Return the DIIS-extrapolated Fock matrix.
 

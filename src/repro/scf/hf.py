@@ -18,6 +18,7 @@ from repro.chem.molecule import Molecule
 from repro.integrals.engine import ERIEngine, MDEngine
 from repro.integrals.oneelec import core_hamiltonian, overlap
 from repro.obs import get_metrics, get_tracer
+from repro.scf.checkpoint import latest_checkpoint, load_checkpoint, save_checkpoint
 from repro.scf.diis import DIIS
 from repro.scf.fock import fock_matrix, hf_electronic_energy
 from repro.scf.guess import core_guess
@@ -80,6 +81,14 @@ class RHF:
         cache with this memory budget (MiB): ERIs are density
         independent, so every direct-SCF iteration after the first
         serves its quartets from the cache instead of recomputing them.
+    checkpoint_dir:
+        When set, snapshot the restartable state (density, energy
+        history, DIIS window) to ``checkpoint_dir/scf_ckpt_NNNN.npz``
+        after every iteration (see :mod:`repro.scf.checkpoint`).
+    restart:
+        Resume from the latest snapshot in ``checkpoint_dir`` (if one
+        exists); the resumed run reproduces the uninterrupted
+        trajectory bitwise.  Overrides ``guess``.
     """
 
     molecule: Molecule
@@ -93,6 +102,8 @@ class RHF:
     max_iter: int = 100
     e_tol: float = 1e-9
     d_tol: float = 1e-7
+    checkpoint_dir: str | None = None
+    restart: bool = False
 
     def __post_init__(self) -> None:
         if self.molecule.nelectrons % 2 != 0:
@@ -101,6 +112,8 @@ class RHF:
             )
         if self.density_method not in ("diagonalize", "purify"):
             raise ValueError(f"unknown density_method {self.density_method!r}")
+        if self.restart and self.checkpoint_dir is None:
+            raise ValueError("restart=True requires checkpoint_dir")
         self.basis = (
             self.engine.basis
             if self.engine is not None
@@ -162,8 +175,23 @@ class RHF:
         coeffs: np.ndarray | None = None
         eps: np.ndarray | None = None
         converged = False
-        it = 0
-        for it in range(1, self.max_iter + 1):
+        start_it = 1
+        if self.restart:
+            ck_path = latest_checkpoint(self.checkpoint_dir)
+            if ck_path is not None:
+                ck = load_checkpoint(ck_path)
+                d = ck.density
+                e_old = ck.energy
+                history = list(ck.energy_history)
+                if diis is not None:
+                    diis.load_state(ck.diis_focks, ck.diis_errors)
+                start_it = ck.iteration + 1
+                tracer.instant(
+                    "scf_restart", cat="scf", molecule=mol_label,
+                    iteration=ck.iteration,
+                )
+        it = start_it - 1
+        for it in range(start_it, self.max_iter + 1):
             with tracer.span(
                 "scf_iteration", cat="scf", molecule=mol_label, iteration=it
             ) as sp:
@@ -202,6 +230,10 @@ class RHF:
                     g_de.set(float(e_change), molecule=mol_label)
                 if d_change < self.d_tol and e_change < self.e_tol:
                     converged = True
+            if self.checkpoint_dir is not None:
+                save_checkpoint(
+                    self.checkpoint_dir, it, d, e_old, history, diis
+                )
             if converged:
                 break
 

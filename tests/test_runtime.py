@@ -30,6 +30,37 @@ class TestMachineConfig:
         with pytest.raises(ValueError):
             MachineConfig(bandwidth=-1)
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bandwidth": 0.0},
+            {"latency": -1e-6},
+            {"latency": 0.0},
+            {"t_int_gtfock": 0.0},
+            {"t_int_nwchem": -4.2e-6},
+            {"queue_service": 0.0},
+            {"task_overhead": -1.0},
+            {"element_size": 0},
+            {"cores_per_node": 0},
+        ],
+    )
+    def test_nonpositive_fields_rejected(self, kwargs):
+        """Every rate/time field must be strictly positive: zero bandwidth
+        divides by zero, zero t_int makes tasks free, negative latency
+        moves clocks backwards."""
+        with pytest.raises(ValueError):
+            MachineConfig(**kwargs)
+
+    def test_validation_error_names_the_field(self):
+        with pytest.raises(ValueError, match="latency"):
+            MachineConfig(latency=0.0)
+        with pytest.raises(ValueError, match="cores_per_node"):
+            MachineConfig(cores_per_node=-3)
+
+    def test_with_override_revalidates(self):
+        with pytest.raises(ValueError):
+            LONESTAR.with_(bandwidth=0.0)
+
 
 class TestGridShape:
     @given(st.integers(1, 500))

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.fock.centralized import run_centralized
 from repro.fock.stealing import run_work_stealing, victim_scan_order
+from repro.runtime.faults import FaultPlan
 from repro.runtime.machine import LONESTAR
 from repro.runtime.network import CommStats
 
@@ -107,6 +108,93 @@ class TestWorkStealingConservation:
     def test_grid_mismatch_rejected(self):
         with pytest.raises(ValueError):
             run_work_stealing([[1]], lambda t: 1.0, (2, 2))
+
+
+class TestStealBoundary:
+    """The ``bisect_right`` split when a steal lands exactly on a task
+    boundary of the victim's cumulative-cost array."""
+
+    def test_steal_exactly_at_task_boundary(self):
+        """Thief arrives exactly when the victim finishes its first task:
+        that task is done, the second is in flight, only the third is
+        stealable."""
+        executed_by = {}
+        queues = [[("v", 0), ("v", 1), ("v", 2)], [("t", 0)]]
+        out = run_work_stealing(
+            queues,
+            lambda t: 10.0,
+            (1, 2),
+            on_task=lambda p, t: executed_by.setdefault(t, p),
+            min_steal=1,
+        )
+        assert executed_by[("v", 0)] == 0
+        assert executed_by[("v", 1)] == 0  # in flight at t=10: not stealable
+        assert executed_by[("v", 2)] == 1  # the one stealable task
+        assert len(out.steals) == 1
+        assert out.steals[0].time == pytest.approx(10.0)
+        assert out.makespan == pytest.approx(20.0)
+
+    def test_queue_empties_exactly_at_steal_time(self):
+        """Thief arrives exactly when the victim's queue drains: nothing
+        is stealable and the scan must come back empty, not split a
+        phantom task."""
+        executed_by = {}
+        queues = [[("v", 0), ("v", 1)], [("t", 0)]]
+
+        def cost_of(task):
+            return 20.0 if task[0] == "t" else 10.0
+
+        out = run_work_stealing(
+            queues,
+            cost_of,
+            (1, 2),
+            on_task=lambda p, t: executed_by.setdefault(t, p),
+        )
+        assert not out.steals
+        assert executed_by[("v", 0)] == 0
+        assert executed_by[("v", 1)] == 0
+        assert out.makespan == pytest.approx(20.0)
+
+    def test_boundary_shifts_under_straggler_fault(self):
+        """Same arrival instant, but a straggler victim has only finished
+        part of its first task -- the split must use the *scaled*
+        cumulative costs, freeing the later tasks for the thief."""
+        executed_by = {}
+        queues = [[("v", 0), ("v", 1), ("v", 2)], [("t", 0)]]
+        plan = FaultPlan(seed=0, slowdown={0: 2.0})
+        out = run_work_stealing(
+            queues,
+            lambda t: 10.0,
+            (1, 2),
+            on_task=lambda p, t: executed_by.setdefault(t, p),
+            faults=plan.activate(2),
+        )
+        # victim runs at half speed: at t=10 task ("v",0) is still mid-
+        # flight, so both later tasks are stealable (vs one in the
+        # healthy case); with steal_fraction=0.5 the thief takes one
+        assert executed_by[("v", 0)] == 0
+        assert executed_by[("v", 1)] == 0
+        assert executed_by[("v", 2)] == 1
+        assert len(out.steals) == 1
+        assert out.steals[0].ntasks == 1
+        # the straggler's remaining work dominates the makespan
+        assert out.makespan == pytest.approx(40.0)
+
+    def test_boundary_exact_with_faults_attached_but_quiet(self):
+        """A fault state with no active faults must not perturb the
+        boundary arithmetic (same split as the fault-free run)."""
+        executed_by = {}
+        queues = [[("v", 0), ("v", 1), ("v", 2)], [("t", 0)]]
+        out = run_work_stealing(
+            queues,
+            lambda t: 10.0,
+            (1, 2),
+            on_task=lambda p, t: executed_by.setdefault(t, p),
+            faults=FaultPlan(seed=3).activate(2),
+        )
+        assert executed_by[("v", 2)] == 1
+        assert executed_by[("v", 1)] == 0
+        assert out.makespan == pytest.approx(20.0)
 
 
 class TestCentralized:
