@@ -54,6 +54,25 @@ class Molecule:
     charge: int = 0
     name: str = ""
 
+    #: pairwise distance (bohr) below which two atoms count as coincident
+    COINCIDENCE_TOL = 1e-6
+
+    def __post_init__(self) -> None:
+        # coincident atoms make the overlap matrix exactly singular and
+        # the nuclear repulsion infinite; reject them at construction
+        # with a field-named error instead of failing deep in the SCF
+        r = self.coords
+        for i in range(len(self.atoms) - 1):
+            d = np.linalg.norm(r[i + 1:] - r[i], axis=1)
+            j = int(np.argmin(d)) + i + 1 if d.size else -1
+            if d.size and float(d.min()) < self.COINCIDENCE_TOL:
+                raise ValueError(
+                    f"atoms[{j}] ({self.atoms[j].symbol}) coincides with "
+                    f"atoms[{i}] ({self.atoms[i].symbol}): distance "
+                    f"{float(d.min()):.3e} bohr is below the "
+                    f"{self.COINCIDENCE_TOL:.0e} bohr coincidence tolerance"
+                )
+
     # -- construction ------------------------------------------------------
 
     @classmethod

@@ -3,11 +3,14 @@
 Commands
 --------
 scf MOLECULE [--basis NAME]     run RHF on a built-in molecule
+                                (``--guard`` arms the convergence guard)
 table{2..9} / fig1 / fig2       regenerate one evaluation artifact
 model                           Sec III-G performance-model analysis
 ablation {reorder,steal,grain}  design-choice ablations
 report MOLECULE [--out PATH]    self-contained HTML run report
 chaos MOLECULE [--seed N]       fault-injected build, verified vs fault-free
+                                (``--family scf`` = NaN/Inf ERI corruption)
+torture [--quick]               SCF torture suite under the convergence guard
 list                            list built-in molecules and bases
 
 Every command accepts ``--trace PATH`` (Chrome trace-event JSON --
@@ -31,7 +34,7 @@ from repro.chem.builders import PAPER_MOLECULES, SCALED_MOLECULES, paper_molecul
 
 def _run_scf(args: argparse.Namespace) -> int:
     from repro.chem import builders
-    from repro.scf import RHF
+    from repro.scf import RHF, GuardConfig
 
     simple = {
         "water": builders.water,
@@ -43,8 +46,21 @@ def _run_scf(args: argparse.Namespace) -> int:
         mol = simple[args.molecule]()
     else:
         mol = paper_molecule(args.molecule)
+    guard = None
+    if args.guard:
+        guard = GuardConfig(
+            patience=args.guard_patience,
+            window=args.guard_window,
+            max_nonfinite=args.guard_max_nonfinite,
+        )
     print(f"RHF/{args.basis} on {mol.formula} ({mol.nelectrons} electrons)")
-    result = RHF(mol, basis_name=args.basis).run()
+    result = RHF(
+        mol,
+        basis_name=args.basis,
+        use_diis=not args.no_diis,
+        max_iter=args.max_iter,
+        guard=guard,
+    ).run()
     print(f"energy      = {result.energy:.8f} hartree")
     print(f"converged   = {result.converged} ({result.iterations} iterations)")
     if result.orbital_energies is not None:
@@ -54,7 +70,44 @@ def _run_scf(args: argparse.Namespace) -> int:
         print(f"HOMO        = {summary.homo:.6f}")
         if summary.lumo is not None:
             print(f"LUMO        = {summary.lumo:.6f}  (gap {summary.gap:.6f})")
+    if result.guard_summary is not None:
+        g = result.guard_summary
+        print(
+            f"guard       = {g['events']} events, rung {g['level']}, "
+            f"final state {g['final_state']}"
+        )
+        for line in [ev.describe() for ev in result.guard_events]:
+            print(f"  {line}")
     return 0 if result.converged else 1
+
+
+def _run_torture(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.report import render_torture_report
+    from repro.scf.torture import run_torture, torture_json, torture_table
+
+    outcomes = run_torture(quick=args.quick, vanilla=not args.no_vanilla)
+    for line in torture_table(outcomes):
+        print(line)
+    records = torture_json(outcomes)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(render_torture_report(records))
+        print(f"torture report written to {args.report}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2, sort_keys=True)
+        print(f"torture summary written to {args.json}")
+    failed = [o for o in outcomes if not o.passed]
+    if failed:
+        print(
+            "torture gate FAILED for: "
+            + ", ".join(o.case.name for o in failed),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _run_experiment(name: str) -> int:
@@ -116,6 +169,7 @@ def _run_report(args: argparse.Namespace) -> int:
         basis_name=args.basis,
         nproc=args.nproc,
         with_trace=not args.no_embedded_trace,
+        scf_guard=args.scf_guard,
     )
     write_report(args.out, report)
     print(report.validation.text())
@@ -130,6 +184,49 @@ def _run_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scf_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fock.chaos import run_scf_chaos
+
+    cres = run_scf_chaos(
+        molecule=args.molecule,
+        basis_name=args.basis,
+        seed=args.seed,
+        quartet_nan_rate=args.quartet_nan_rate,
+        tolerance=args.tolerance,
+    )
+    print(f"scf chaos run: {cres.molecule}/{cres.basis_name}")
+    for line in cres.summary_lines():
+        print(f"  {line}")
+    if args.json:
+        payload = {
+            "family": "scf",
+            "molecule": cres.molecule,
+            "basis": cres.basis_name,
+            "seed": cres.plan.seed,
+            "fock_error": cres.fock_error,
+            "energy_error": cres.energy_error,
+            "tolerance": cres.tolerance,
+            "quartets_corrupted": cres.quartets_corrupted,
+            "eri_rescues": cres.eri_rescues,
+            "passed": cres.passed,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"chaos summary written to {args.json}")
+    if not cres.passed:
+        print(
+            f"scf chaos invariant FAILED: max |dF| {cres.fock_error:.3e} "
+            f"(tolerance {cres.tolerance:.0e}), "
+            f"{cres.quartets_corrupted} corrupted vs "
+            f"{cres.eri_rescues} rescued",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -138,6 +235,9 @@ def _run_chaos(args: argparse.Namespace) -> int:
     from repro.obs.metrics import export_faults
     from repro.obs.report import chaos_report, write_report
     from repro.obs.trace import Tracer
+
+    if args.family == "scf":
+        return _run_scf_chaos(args)
 
     # capture the faulted run for the report's embedded trace; reuse an
     # installed (--trace) tracer so both outputs describe the same run
@@ -239,6 +339,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_scf.add_argument("molecule")
     p_scf.add_argument("--basis", default="sto-3g")
+    p_scf.add_argument("--max-iter", type=int, default=100)
+    p_scf.add_argument(
+        "--no-diis", action="store_true", help="disable DIIS acceleration"
+    )
+    p_scf.add_argument(
+        "--guard", action="store_true",
+        help="arm the convergence guard (watchdog + remediation ladder; "
+        "see docs/ROBUSTNESS.md)",
+    )
+    p_scf.add_argument(
+        "--guard-patience", type=int, default=2, metavar="N",
+        help="bad classifications before escalating one ladder rung",
+    )
+    p_scf.add_argument(
+        "--guard-window", type=int, default=6, metavar="N",
+        help="history length the classifier looks back over",
+    )
+    p_scf.add_argument(
+        "--guard-max-nonfinite", type=int, default=3, metavar="N",
+        help="non-finite events tolerated before aborting with GuardError",
+    )
 
     for name in (
         "table2", "table3", "table4", "table5", "table6", "table7",
@@ -271,6 +392,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip embedding the Perfetto trace in the report",
     )
+    p_rep.add_argument(
+        "--scf-guard",
+        action="store_true",
+        help="run a guarded RHF of the same system first and include "
+        "its convergence-guard section in the report",
+    )
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -281,6 +408,16 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("molecule", nargs="?", default="water")
     p_chaos.add_argument("--basis", default="sto-3g")
     p_chaos.add_argument("--nproc", type=int, default=4)
+    p_chaos.add_argument(
+        "--family", choices=["runtime", "scf"], default="runtime",
+        help="runtime = rank deaths / lossy ops on the simulated machine; "
+        "scf = seeded NaN/Inf corruption of batched ERI blocks, rescued "
+        "by the convergence guard's sentinel",
+    )
+    p_chaos.add_argument(
+        "--quartet-nan-rate", type=float, default=0.05,
+        help="(scf family) per-quartet corruption probability",
+    )
     p_chaos.add_argument(
         "--seed", type=int, default=0,
         help="seed of the random fault plan (same seed -> same run)",
@@ -304,6 +441,28 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write a JSON summary (errors + recovery overhead)",
+    )
+
+    p_tort = sub.add_parser(
+        "torture",
+        help="run the SCF torture suite under the convergence guard "
+        "(see docs/ROBUSTNESS.md)",
+        parents=[obs_flags],
+    )
+    p_tort.add_argument(
+        "--quick", action="store_true", help="CI subset of the suite"
+    )
+    p_tort.add_argument(
+        "--no-vanilla", action="store_true",
+        help="skip the guard-off contrast runs",
+    )
+    p_tort.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the torture HTML report",
+    )
+    p_tort.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the outcome records as JSON",
     )
 
     sub.add_parser(
@@ -343,6 +502,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_report(args)
         if args.command == "chaos":
             return _run_chaos(args)
+        if args.command == "torture":
+            return _run_torture(args)
         if args.command == "list":
             return _run_list()
         return _run_experiment(args.command)

@@ -14,6 +14,13 @@ tasks, and extra bytes show up as measurable recovery overhead (the
 ``retry`` flight channel, :class:`RecoveryRecord` entries, and the
 fault-overhead counters), never as a numeric change.
 
+The ``scf`` fault family (:func:`run_scf_chaos`) applies the same
+invariant to *numerical* faults: a seeded
+:class:`~repro.runtime.faults.SCFFaultPlan` corrupts batched ERI quartet
+blocks with NaN/Inf, the convergence guard's per-quartet sentinel
+rescues each one on the reference kernel, and the rescued Fock matrix
+must still match the fault-free build to ``<= 1e-12``.
+
 Driven by the ``repro chaos`` CLI and ``tests/test_faults.py``.
 """
 
@@ -25,7 +32,7 @@ import numpy as np
 
 from repro.fock.gtfock import GTFockBuildResult, gtfock_build
 from repro.obs import Tracer
-from repro.runtime.faults import FaultPlan, random_plan
+from repro.runtime.faults import FaultPlan, SCFFaultPlan, random_plan
 from repro.runtime.machine import LONESTAR, MachineConfig
 
 
@@ -176,4 +183,90 @@ def run_chaos(
         energy_error=energy_error,
         tolerance=tolerance,
         overhead=overhead,
+    )
+
+
+@dataclass
+class SCFChaosResult:
+    """Clean vs NaN-corrupted-and-rescued Fock build comparison."""
+
+    molecule: str
+    basis_name: str
+    plan: SCFFaultPlan
+    #: max |F_rescued - F_clean| over all elements
+    fock_error: float
+    #: |dE| of the one-iteration electronic energy
+    energy_error: float
+    #: batched ERI blocks the plan corrupted
+    quartets_corrupted: int
+    #: corrupted blocks the sentinel recomputed on the reference kernel
+    eri_rescues: int
+    tolerance: float = 1e-12
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.fock_error <= self.tolerance
+            and self.eri_rescues >= self.quartets_corrupted
+        )
+
+    def summary_lines(self) -> list[str]:
+        return [
+            f"plan: {self.plan.describe()}",
+            f"corrupted quartet blocks: {self.quartets_corrupted}  "
+            f"rescued on reference kernel: {self.eri_rescues}",
+            f"max |dF| = {self.fock_error:.3e} "
+            f"(tolerance {self.tolerance:.0e}) -> "
+            + ("PASS" if self.passed else "FAIL"),
+            f"|dE| = {self.energy_error:.3e} Ha",
+        ]
+
+
+def run_scf_chaos(
+    molecule: str = "water",
+    basis_name: str = "sto-3g",
+    tau: float = 1e-11,
+    seed: int = 0,
+    quartet_nan_rate: float = 0.05,
+    tolerance: float = 1e-12,
+    plan: SCFFaultPlan | None = None,
+) -> SCFChaosResult:
+    """The ``scf`` fault family's invariant gate.
+
+    Builds the Fock matrix twice from identical inputs on the batched
+    MD engine -- once clean, once with a seeded
+    :class:`~repro.runtime.faults.SCFFaultPlan` corrupting quartet
+    blocks and the per-quartet NaN/Inf sentinel armed -- and verifies
+    every corruption was rescued (recomputed on the reference kernel)
+    with ``max |dF| <= tolerance``.
+    """
+    from repro.scf.fock import fock_matrix
+
+    engine, hcore, density, mol, basis = build_inputs(molecule, basis_name)
+    clean = fock_matrix(engine, hcore, density, tau)
+    if plan is None:
+        plan = SCFFaultPlan(
+            seed=seed,
+            quartet_nan_rate=quartet_nan_rate / 2,
+            quartet_inf_rate=quartet_nan_rate / 2,
+        )
+    faulty_engine, *_ = build_inputs(molecule, basis_name)
+    fstate = plan.activate()
+    faulty_engine.scf_faults = fstate
+    faulty_engine.finite_check = True
+    rescued = fock_matrix(faulty_engine, hcore, density, tau)
+    fock_error = float(np.max(np.abs(rescued - clean)))
+    energy_error = abs(
+        _one_iter_energy(density, hcore, rescued)
+        - _one_iter_energy(density, hcore, clean)
+    )
+    return SCFChaosResult(
+        molecule=mol.name or mol.formula,
+        basis_name=basis_name,
+        plan=plan,
+        fock_error=fock_error,
+        energy_error=energy_error,
+        quartets_corrupted=fstate.quartets_corrupted,
+        eri_rescues=faulty_engine.eri_rescues,
+        tolerance=tolerance,
     )

@@ -54,6 +54,15 @@ _EIGHT_PERMUTATIONS: tuple[tuple[int, int, int, int], ...] = (
 _IDENTITY = (0, 1, 2, 3)
 
 
+class NonFiniteERIError(RuntimeError):
+    """An ERI block came back NaN/Inf and no rescue path could fix it."""
+
+    def __init__(self, quartet: tuple[int, int, int, int], detail: str = ""):
+        self.quartet = quartet
+        msg = f"ERI quartet {quartet} is non-finite"
+        super().__init__(msg + (f": {detail}" if detail else ""))
+
+
 def canonical_quartet(
     m: int, n: int, p: int, q: int
 ) -> tuple[tuple[int, int, int, int], tuple[int, int, int, int]]:
@@ -168,6 +177,14 @@ class ERIEngine(abc.ABC):
         #: number of quartet() calls answered from the LRU cache
         self.quartets_served_from_cache = 0
         self.quartet_cache: QuartetCache | None = None
+        #: NaN/Inf sentinel on computed blocks (armed by the SCF guard);
+        #: off by default so the hot path carries zero extra cost
+        self.finite_check = False
+        #: blocks rescued by the per-quartet reference-kernel fallback
+        self.eri_rescues = 0
+        #: seeded numerical-corruption hook (the ``scf`` fault family);
+        #: see :class:`repro.runtime.faults.SCFFaultState`
+        self.scf_faults = None
         if cache_mb is not None:
             self.enable_quartet_cache(cache_mb)
 
@@ -195,18 +212,38 @@ class ERIEngine(abc.ABC):
         cache = self.quartet_cache
         if cache is None:
             self.quartets_computed += 1
-            return self._quartet(m, n, p, q)
+            block = self._quartet(m, n, p, q)
+            # sum-reduction sentinel: any NaN/Inf element makes the sum
+            # non-finite, without materialising a bool array per block
+            if self.finite_check and not np.isfinite(block.sum()):
+                block = self._rescue_quartet(m, n, p, q)
+            return block
         key, perm = canonical_quartet(m, n, p, q)
         block = cache.get(key)
         if block is None:
             self.quartets_computed += 1
             block = self._quartet(*key)
+            if self.finite_check and not np.isfinite(block.sum()):
+                block = self._rescue_quartet(*key)
             cache.put(key, block)
         else:
             self.quartets_served_from_cache += 1
         if perm == _IDENTITY:
             return block
         return np.transpose(block, perm)
+
+    def _rescue_quartet(self, m: int, n: int, p: int, q: int) -> np.ndarray:
+        """Last resort for a non-finite block; engines without an
+        independent slow path have nothing to degrade to."""
+        raise NonFiniteERIError((m, n, p, q), "engine has no rescue path")
+
+    @property
+    def supports_reference_path(self) -> bool:
+        """Whether :meth:`force_reference_path` can do anything here."""
+        return False
+
+    def force_reference_path(self) -> None:
+        """Permanently drop to the engine's reference kernel (no-op here)."""
 
     def schwarz(self) -> np.ndarray:
         """Shell-pair screening values sigma(M,N), cached."""
@@ -241,12 +278,53 @@ class MDEngine(ERIEngine):
     def _quartet(self, m: int, n: int, p: int, q: int) -> np.ndarray:
         sh = self.basis.shells
         if self.pair_cache is not None:
-            return eri_shell_quartet_batched(
+            block = eri_shell_quartet_batched(
                 sh[m], sh[n], sh[p], sh[q],
                 bra=self.pair_cache.get(m, n),
                 ket=self.pair_cache.get(p, q),
             )
+            if self.scf_faults is not None:
+                # the scf fault family models a bug in the *fast* kernel:
+                # corruption never touches the reference path below
+                block = self.scf_faults.corrupt_quartet(block, (m, n, p, q))
+            return block
         return eri_shell_quartet(sh[m], sh[n], sh[p], sh[q])
+
+    def _rescue_quartet(self, m: int, n: int, p: int, q: int) -> np.ndarray:
+        """Graceful degradation at quartet granularity.
+
+        A non-finite batched block is recomputed on the independent
+        per-primitive reference kernel (the two agree to ~3e-15 per
+        element, so a rescued build stays inside the 1e-12 chaos gate).
+        """
+        sh = self.basis.shells
+        block = eri_shell_quartet(sh[m], sh[n], sh[p], sh[q])
+        if not np.isfinite(block).all():
+            raise NonFiniteERIError(
+                (m, n, p, q), "reference kernel is non-finite too"
+            )
+        self.eri_rescues += 1
+        get_metrics().counter(
+            "repro_scf_guard_eri_rescues_total",
+            "non-finite batched ERI blocks recomputed on the reference kernel",
+        ).inc()
+        return block
+
+    @property
+    def supports_reference_path(self) -> bool:
+        return True
+
+    def force_reference_path(self) -> None:
+        """Permanently fall back to the per-primitive reference kernel.
+
+        The guard's last ladder rung: disables the batched kernel and
+        its pair cache, and clears the quartet cache (cached blocks may
+        have come from the distrusted fast path).
+        """
+        self.batched = False
+        self.pair_cache = None
+        if self.quartet_cache is not None:
+            self.quartet_cache.clear()
 
     def _build_schwarz(self) -> np.ndarray:
         if self.model_schwarz:

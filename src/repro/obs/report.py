@@ -449,6 +449,9 @@ class RunReport:
     #: fault-injection/recovery summary (chaos runs only); see
     #: ``docs/ROBUSTNESS.md`` for the fields
     recovery: dict | None = None
+    #: SCF convergence-guard summary (guarded SCF runs only):
+    #: :meth:`repro.scf.guard.SCFGuard.summary` plus a ``trail`` list
+    scf_guard: dict | None = None
 
     @property
     def load_balance(self) -> float:
@@ -536,6 +539,12 @@ def render_report(r: RunReport) -> str:
             "taxonomy and protocol.</p></section>"
         )
 
+    guard_html = ""
+    if r.scf_guard is not None:
+        guard_html = (
+            "<section>" + scf_guard_section_html(r.scf_guard) + "</section>"
+        )
+
     ops_chans = [c for c in chans if np.any(r.flight.per_rank(c, "ops"))]
     ops_html = ""
     if ops_chans:
@@ -621,6 +630,8 @@ measurements; a metric warns/fails when measured/model (folded to
 
 {recovery_html}
 
+{guard_html}
+
 {ops_html and f'<section>{ops_html}</section>'}
 
 {trace_html}
@@ -634,6 +645,162 @@ the repro flight recorder (see docs/OBSERVABILITY.md)</footer>
     return doc
 
 
+# -- SCF convergence guard -----------------------------------------------------
+
+
+def scf_guard_section_html(g: dict) -> str:
+    """The convergence-guard section body (tiles + event trail).
+
+    ``g`` is :meth:`repro.scf.guard.SCFGuard.summary` plus an optional
+    ``trail`` (list of :meth:`GuardEvent.describe` lines).
+    """
+    healthy = g.get("final_state", "healthy") == "healthy"
+    state_badge = _badge(PASS if healthy else WARN)
+    tiles = (
+        (str(g.get("events", 0)), "guard events"),
+        (str(g.get("level", -1)), "ladder rung reached"),
+        (_fmt_g(float(g.get("damping", 0.0))), "final damping"),
+        (f"{float(g.get('level_shift', 0.0)):.3g} Ha", "final level shift"),
+        (str(g.get("nonfinite", 0)), "non-finite events"),
+        ("yes" if g.get("reference_eri") else "no", "reference ERI fallback"),
+    )
+    tiles_html = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="l">{_esc(label)}</div></div>'
+        for v, label in tiles
+    )
+    by_state = g.get("by_state", {}) or {}
+    by_action = g.get("by_action", {}) or {}
+    counts_rows = "".join(
+        f"<tr><td>{_esc(k)}</td><td>{v}</td><td>classification</td></tr>"
+        for k, v in sorted(by_state.items())
+    ) + "".join(
+        f"<tr><td>{_esc(k)}</td><td>{v}</td><td>remediation</td></tr>"
+        for k, v in sorted(by_action.items())
+    )
+    counts_html = (
+        "<table><thead><tr><th>event</th><th>count</th><th>kind</th></tr>"
+        f"</thead><tbody>{counts_rows}</tbody></table>"
+        if counts_rows
+        else '<p class="caption">no bad classifications: the iteration '
+        "was never touched.</p>"
+    )
+    trail = g.get("trail", []) or []
+    trail_html = ""
+    if trail:
+        items = "".join(f"<li><code>{_esc(line)}</code></li>" for line in trail)
+        trail_html = (
+            "<details><summary>event trail "
+            f"({len(trail)} events)</summary><ul>{items}</ul></details>"
+        )
+    return (
+        "<h2>SCF convergence guard</h2>"
+        f'<p class="caption">Watchdog classification of the final iteration: '
+        f"<strong>{_esc(g.get('final_state', 'healthy'))}</strong> "
+        f"{state_badge} &mdash; metric names are listed in "
+        "docs/OBSERVABILITY.md (<code>repro_scf_guard_*</code>); the "
+        "remediation ladder is documented in docs/ROBUSTNESS.md.</p>"
+        f'<div class="tiles">{tiles_html}</div>'
+        f"{counts_html}{trail_html}"
+    )
+
+
+def render_torture_report(records: list[Any], title: str = "scf-torture") -> str:
+    """Self-contained HTML page for an SCF torture-suite run.
+
+    ``records`` is :func:`repro.scf.torture.torture_json` output: one
+    dict per case with ``case`` / ``status`` / ``passed`` / ``trail``.
+    """
+    npassed = sum(1 for rec in records if rec.get("passed"))
+    nconv = sum(1 for rec in records if rec.get("converged"))
+    all_pass = npassed == len(records)
+    tiles = (
+        (str(len(records)), "torture cases"),
+        (f"{npassed}/{len(records)}", "passed the guard gate"),
+        (str(nconv), "converged under guard"),
+        (
+            str(sum(len(rec.get("trail", [])) for rec in records)),
+            "guard events",
+        ),
+    )
+    tiles_html = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="l">{_esc(label)}</div></div>'
+        for v, label in tiles
+    )
+    rows = []
+    for rec in records:
+        vanilla = rec.get("vanilla_converged")
+        vanilla_s = "&mdash;" if vanilla is None else ("ok" if vanilla else "FAIL")
+        energy = rec.get("energy")
+        energy_s = f"{energy:.6f}" if energy is not None else "&mdash;"
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(rec.get('case', ''))}</td>"
+            f"<td>{vanilla_s}</td>"
+            f"<td>{_esc(rec.get('status', ''))}</td>"
+            f"<td>{rec.get('iterations', 0)}</td>"
+            f"<td>{energy_s}</td>"
+            f"<td>{len(rec.get('trail', []))}</td>"
+            f"<td>{_badge(PASS if rec.get('passed') else FAIL)}</td>"
+            "</tr>"
+        )
+    details = []
+    for rec in records:
+        lines = rec.get("trail", [])
+        guard = rec.get("guard") or {}
+        body = (
+            "".join(f"<li><code>{_esc(ln)}</code></li>" for ln in lines)
+            or "<li>no guard events (healthy run)</li>"
+        )
+        detail_caption = _esc(rec.get("description", ""))
+        if rec.get("aborted"):
+            detail_caption += (
+                f" &mdash; aborted: <code>{_esc(rec.get('abort_reason', ''))}"
+                "</code>"
+            )
+        details.append(
+            f"<details><summary>{_esc(rec.get('case', ''))} "
+            f"({len(lines)} events, rung {guard.get('level', '&mdash;')})"
+            f"</summary><p class=\"caption\">{detail_caption}</p>"
+            f"<ul>{body}</ul></details>"
+        )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<main>
+<h1>SCF torture suite: {_esc(title)}</h1>
+<p class="subtitle">convergence-guard acceptance gate: every case
+converges or terminates with a classified GuardEvent trail
+{_badge(PASS if all_pass else FAIL)}</p>
+<div class="tiles">{tiles_html}</div>
+<section>
+<h2>Cases</h2>
+<p class="caption">"vanilla" is the same driver configuration without
+the guard; "events" counts typed GuardEvents (classifications and
+remediations). Ladder and classifier rules: docs/ROBUSTNESS.md.</p>
+<table><thead><tr><th>case</th><th>vanilla</th><th>guarded</th>
+<th>iters</th><th>energy (Ha)</th><th>events</th><th>gate</th>
+</tr></thead><tbody>{''.join(rows)}</tbody></table>
+</section>
+<section>
+<h2>Event trails</h2>
+{''.join(details)}
+</section>
+<footer>self-contained report &mdash; no external assets; generated by
+the repro SCF convergence guard (see docs/ROBUSTNESS.md)</footer>
+</main>
+</body>
+</html>
+"""
+
+
 # -- run driver --------------------------------------------------------------
 
 
@@ -644,8 +811,13 @@ def run_report(
     tau: float = 1e-11,
     config=None,
     with_trace: bool = True,
+    scf_guard: bool = False,
 ) -> tuple[RunReport, Any]:
     """Run a numeric GTFock build and assemble its :class:`RunReport`.
+
+    With ``scf_guard=True`` a guarded RHF run of the same system is
+    executed first and its convergence-guard summary (plus the event
+    trail) lands in the report's "Convergence guard" section.
 
     Returns ``(report, build_result)``; render with
     :func:`render_report` or persist via :func:`write_report`.
@@ -680,6 +852,18 @@ def run_report(
     hcore = core_hamiltonian(basis)
     x = orthogonalizer(overlap(basis))
     density = core_guess(hcore, x, mol.nelectrons // 2)
+
+    guard_summary = None
+    if scf_guard:
+        from repro.scf.hf import RHF
+
+        scf_result = RHF(mol, basis_name=basis_name, guard=True).run()
+        guard_summary = dict(scf_result.guard_summary or {})
+        guard_summary["trail"] = [
+            ev.describe() for ev in scf_result.guard_events
+        ]
+        guard_summary["converged"] = bool(scf_result.converged)
+        guard_summary["iterations"] = scf_result.iterations
 
     # reuse an installed (e.g. --trace) tracer so its output and the
     # embedded trace are the same run; otherwise record one locally
@@ -724,6 +908,7 @@ def run_report(
             "model tolerances are calibrated for small test molecules; "
             "see docs/OBSERVABILITY.md for the threshold table",
         ],
+        scf_guard=guard_summary,
     )
     return report, result
 

@@ -239,6 +239,184 @@ class FaultState:
         }
 
 
+@dataclass(frozen=True)
+class SCFFaultPlan:
+    """Declarative numerical faults for the SCF / Fock-build layer.
+
+    The runtime :class:`FaultPlan` breaks the *machine* (rank deaths,
+    lost acks); this plan breaks the *numerics*: it corrupts batched ERI
+    quartet blocks and SCF iteration matrices with NaN/Inf, the failure
+    mode of a buggy fast kernel or a bad FMA path on one node.  The
+    convergence guard (:mod:`repro.scf.guard`) must detect and rescue
+    every corruption -- that is the ``repro chaos --family scf`` gate.
+
+    Corruption only targets the *batched* ERI path, never the reference
+    per-primitive kernel, so the guard's ``reference_eri`` fallback (and
+    the per-quartet rescue) genuinely repairs the build.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the generator behind every corruption draw.
+    quartet_nan_rate / quartet_inf_rate:
+        Per-quartet-block probability that the batched ERI result is
+        corrupted with NaN (resp. +Inf) in one random element.
+    fock_nan_iterations / density_nan_iterations:
+        SCF iteration numbers (1-based) at which one element of the
+        freshly built Fock (resp. density) matrix is replaced by NaN.
+        Each (iteration, target) fault fires exactly once, so the
+        guard's in-iteration rebuild is not re-corrupted.
+    max_corruptions:
+        Hard cap on total injected corruptions (0 = unlimited); keeps
+        high-rate plans from corrupting every block of a large build.
+    """
+
+    seed: int = 0
+    quartet_nan_rate: float = 0.0
+    quartet_inf_rate: float = 0.0
+    fock_nan_iterations: tuple[int, ...] = ()
+    density_nan_iterations: tuple[int, ...] = ()
+    max_corruptions: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("quartet_nan_rate", "quartet_inf_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("fock_nan_iterations", "density_nan_iterations"):
+            for it in getattr(self, name):
+                if it < 1:
+                    raise ValueError(
+                        f"{name} entries are 1-based iteration numbers, got {it}"
+                    )
+        if self.max_corruptions < 0:
+            raise ValueError(
+                f"max_corruptions must be >= 0, got {self.max_corruptions}"
+            )
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(
+            self.quartet_nan_rate
+            or self.quartet_inf_rate
+            or self.fock_nan_iterations
+            or self.density_nan_iterations
+        )
+
+    def activate(self) -> "SCFFaultState":
+        return SCFFaultState(self)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.quartet_nan_rate:
+            parts.append(f"quartet_nan={self.quartet_nan_rate:g}")
+        if self.quartet_inf_rate:
+            parts.append(f"quartet_inf={self.quartet_inf_rate:g}")
+        if self.fock_nan_iterations:
+            parts.append(
+                "fock_nan@it=" + ",".join(str(i) for i in self.fock_nan_iterations)
+            )
+        if self.density_nan_iterations:
+            parts.append(
+                "density_nan@it="
+                + ",".join(str(i) for i in self.density_nan_iterations)
+            )
+        if self.max_corruptions:
+            parts.append(f"max={self.max_corruptions}")
+        return " ".join(parts)
+
+
+class SCFFaultState:
+    """An activated :class:`SCFFaultPlan` with its seeded rng and counters."""
+
+    def __init__(self, plan: SCFFaultPlan):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        #: batched ERI blocks corrupted (NaN or Inf)
+        self.quartets_corrupted = 0
+        #: SCF matrices (Fock/density) corrupted
+        self.matrices_corrupted = 0
+        #: (iteration, target) matrix faults that already fired
+        self._fired: set[tuple[int, str]] = set()
+
+    def _budget_left(self) -> bool:
+        cap = self.plan.max_corruptions
+        total = self.quartets_corrupted + self.matrices_corrupted
+        return cap == 0 or total < cap
+
+    def corrupt_quartet(
+        self, block: np.ndarray, quartet: tuple[int, int, int, int]
+    ) -> np.ndarray:
+        """Maybe corrupt one batched ERI block; returns the block to use.
+
+        The draw consumes the rng whether or not corruption fires, so a
+        faulted run is reproducible from the plan's seed alone.
+        """
+        p = self.plan
+        if not (p.quartet_nan_rate or p.quartet_inf_rate):
+            return block
+        draw = self.rng.random()
+        if draw >= p.quartet_nan_rate + p.quartet_inf_rate:
+            return block
+        if block.size == 0 or not self._budget_left():
+            return block
+        value = np.nan if draw < p.quartet_nan_rate else np.inf
+        flat = np.array(block, dtype=float).reshape(-1)
+        flat[int(self.rng.integers(flat.size))] = value
+        self.quartets_corrupted += 1
+        return flat.reshape(block.shape)
+
+    def corrupt_matrix(
+        self, a: np.ndarray, iteration: int, which: str
+    ) -> np.ndarray:
+        """Maybe NaN one element of an SCF matrix at ``iteration``.
+
+        Each (iteration, which) fault fires at most once, so the
+        guard's same-iteration rebuild sees a clean matrix.
+        """
+        targets = (
+            self.plan.fock_nan_iterations
+            if which == "fock"
+            else self.plan.density_nan_iterations
+        )
+        key = (int(iteration), which)
+        if iteration not in targets or key in self._fired:
+            return a
+        if a.size == 0 or not self._budget_left():
+            return a
+        self._fired.add(key)
+        out = np.array(a, dtype=float)
+        flat = out.reshape(-1)
+        flat[int(self.rng.integers(flat.size))] = np.nan
+        self.matrices_corrupted += 1
+        return out
+
+    def summary(self) -> dict:
+        """Corruption counters for reports and the chaos CLI."""
+        return {
+            "quartets_corrupted": int(self.quartets_corrupted),
+            "matrices_corrupted": int(self.matrices_corrupted),
+            "plan": self.plan.describe(),
+        }
+
+
+def random_scf_plan(seed: int, quartet_nan_rate: float = 0.02) -> SCFFaultPlan:
+    """Seeded random :class:`SCFFaultPlan` for ``repro chaos --family scf``.
+
+    Splits the corruption rate between NaN and Inf and NaNs the Fock
+    matrix on one early iteration; the same seed always yields the same
+    plan.
+    """
+    rng = np.random.default_rng(seed)
+    return SCFFaultPlan(
+        seed=seed,
+        quartet_nan_rate=quartet_nan_rate / 2,
+        quartet_inf_rate=quartet_nan_rate / 2,
+        fock_nan_iterations=(int(rng.integers(2, 5)),),
+        max_corruptions=64,
+    )
+
+
 def random_plan(
     seed: int,
     nproc: int,

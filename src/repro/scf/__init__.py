@@ -1,7 +1,24 @@
 """Sequential self-consistent-field stack: reference Fock build, RHF, DIIS,
-purification."""
+purification, and the convergence guard."""
 
+from repro.scf.checkpoint import (
+    Checkpoint,
+    CheckpointCorruptionWarning,
+    load_checkpoint,
+    load_latest_intact,
+    save_checkpoint,
+)
 from repro.scf.diis import DIIS
+from repro.scf.guard import (
+    DEFAULT_LADDER,
+    STATES,
+    ConvergenceClassifier,
+    GuardConfig,
+    GuardError,
+    GuardEvent,
+    Rung,
+    SCFGuard,
+)
 from repro.scf.fock import (
     build_jk,
     canonical_shell_quartets,
@@ -23,9 +40,12 @@ from repro.scf.properties import (
     orbital_summary,
 )
 from repro.scf.orthogonalization import (
+    LinearDependenceWarning,
+    OrthoInfo,
     density_from_coefficients,
     density_from_fock,
     orthogonalizer,
+    orthogonalizer_info,
 )
 from repro.scf.ri import RIJBuilder, even_tempered_auxiliary
 from repro.scf.uhf import UHF, UHFResult
@@ -39,6 +59,22 @@ from repro.scf.purification import (
 )
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointCorruptionWarning",
+    "load_checkpoint",
+    "load_latest_intact",
+    "save_checkpoint",
+    "DEFAULT_LADDER",
+    "STATES",
+    "ConvergenceClassifier",
+    "GuardConfig",
+    "GuardError",
+    "GuardEvent",
+    "Rung",
+    "SCFGuard",
+    "LinearDependenceWarning",
+    "OrthoInfo",
+    "orthogonalizer_info",
     "DIIS",
     "build_jk",
     "canonical_shell_quartets",

@@ -14,22 +14,36 @@ Format (``scf_ckpt_NNNN.npz``, one file per iteration):
 * ``energy`` -- total energy of that iteration (becomes ``e_old``);
 * ``energy_history`` -- total energies of iterations ``1..iteration``;
 * ``diis_focks`` / ``diis_errors`` -- the DIIS window, oldest first,
-  stacked on axis 0 (empty arrays when DIIS is off or empty).
+  stacked on axis 0 (empty arrays when DIIS is off or empty);
+* ``guard_json`` -- the convergence-guard remediation state
+  (:meth:`repro.scf.guard.SCFGuard.state_dict` as JSON), so a restarted
+  run resumes with the same damping / level shift / sticky fallbacks.
+  Absent in pre-guard snapshots; loading those yields ``guard=None``.
 
 Writes are atomic (tmp file + ``os.replace``), so a rank dying mid-write
-never corrupts the latest complete snapshot.
+never corrupts the latest complete snapshot.  Reads are defensive: a
+truncated or otherwise unreadable snapshot (the disk filled up, the
+file was hand-edited) is skipped with a
+:class:`CheckpointCorruptionWarning` and the restart falls back to the
+most recent *intact* iteration (:func:`load_latest_intact`).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 _CKPT_RE = re.compile(r"^scf_ckpt_(\d{4,})\.npz$")
+
+
+class CheckpointCorruptionWarning(UserWarning):
+    """A snapshot on disk could not be read and was skipped."""
 
 
 @dataclass
@@ -42,6 +56,8 @@ class Checkpoint:
     energy_history: list[float] = field(default_factory=list)
     diis_focks: list[np.ndarray] = field(default_factory=list)
     diis_errors: list[np.ndarray] = field(default_factory=list)
+    #: convergence-guard remediation state (None in pre-guard snapshots)
+    guard: dict | None = None
 
 
 def checkpoint_path(directory: str | Path, iteration: int) -> Path:
@@ -55,8 +71,13 @@ def save_checkpoint(
     energy: float,
     energy_history: list[float],
     diis=None,
+    guard=None,
 ) -> Path:
-    """Atomically write iteration state; returns the snapshot path."""
+    """Atomically write iteration state; returns the snapshot path.
+
+    ``guard`` (optional) is an :class:`~repro.scf.guard.SCFGuard` whose
+    remediation state is persisted alongside the numerical state.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     if diis is not None:
@@ -76,6 +97,8 @@ def save_checkpoint(
             np.stack(errors) if errors else np.zeros((0, n, n))
         ),
     }
+    if guard is not None:
+        payload["guard_json"] = np.str_(guard.state_json())
     path = checkpoint_path(directory, iteration)
     tmp = path.with_suffix(".npz.tmp")
     with open(tmp, "wb") as fh:
@@ -86,6 +109,9 @@ def save_checkpoint(
 
 def load_checkpoint(path: str | Path) -> Checkpoint:
     with np.load(path) as z:
+        guard = None
+        if "guard_json" in z.files:
+            guard = json.loads(str(z["guard_json"]))
         return Checkpoint(
             iteration=int(z["iteration"]),
             density=z["density"],
@@ -93,19 +119,46 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
             energy_history=[float(e) for e in z["energy_history"]],
             diis_focks=list(z["diis_focks"]),
             diis_errors=list(z["diis_errors"]),
+            guard=guard,
         )
 
 
 def latest_checkpoint(directory: str | Path) -> Path | None:
     """Highest-iteration snapshot in ``directory``, or None."""
+    paths = checkpoint_paths(directory)
+    return paths[0] if paths else None
+
+
+def checkpoint_paths(directory: str | Path) -> list[Path]:
+    """Every snapshot in ``directory``, newest (highest iteration) first."""
     directory = Path(directory)
     if not directory.is_dir():
-        return None
-    best: tuple[int, Path] | None = None
+        return []
+    found: list[tuple[int, Path]] = []
     for entry in directory.iterdir():
         m = _CKPT_RE.match(entry.name)
         if m:
-            it = int(m.group(1))
-            if best is None or it > best[0]:
-                best = (it, entry)
-    return best[1] if best is not None else None
+            found.append((int(m.group(1)), entry))
+    return [p for _, p in sorted(found, reverse=True)]
+
+
+def load_latest_intact(directory: str | Path) -> Checkpoint | None:
+    """The most recent snapshot that actually loads.
+
+    A truncated ``.npz`` (crash mid-``os.replace`` on exotic
+    filesystems, full disk, hand-editing) must not kill the restart: it
+    is skipped with a :class:`CheckpointCorruptionWarning` and the next
+    older snapshot is tried.  Returns None when no intact snapshot
+    exists.
+    """
+    for path in checkpoint_paths(directory):
+        try:
+            return load_checkpoint(path)
+        except Exception as exc:  # np.load raises zipfile/OS/Value errors
+            warnings.warn(
+                f"skipping corrupted checkpoint {path}: "
+                f"{type(exc).__name__}: {exc}",
+                CheckpointCorruptionWarning,
+                stacklevel=2,
+            )
+    return None

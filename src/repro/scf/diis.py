@@ -43,6 +43,17 @@ class DIIS:
         self._focks.append(fock.copy())
         self._errors.append(error.copy())
 
+    def reset(self) -> None:
+        """Drop the stored window (convergence-guard ``diis_reset`` rung).
+
+        After an oscillating stretch, the window is full of Fock
+        matrices from both lobes of the oscillation and extrapolation
+        keeps reproducing it; starting the subspace fresh from the next
+        iterate breaks the cycle.
+        """
+        self._focks.clear()
+        self._errors.clear()
+
     def state_arrays(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """The stored (Fock, error) windows, oldest first (checkpointing)."""
         return list(self._focks), list(self._errors)

@@ -18,9 +18,11 @@ from repro.chem.molecule import Molecule
 from repro.integrals.engine import ERIEngine, MDEngine
 from repro.integrals.oneelec import core_hamiltonian, overlap
 from repro.obs import get_metrics, get_tracer
-from repro.scf.checkpoint import latest_checkpoint, load_checkpoint, save_checkpoint
+from repro.runtime.faults import SCFFaultPlan
+from repro.scf.checkpoint import load_latest_intact, save_checkpoint
 from repro.scf.diis import DIIS
 from repro.scf.fock import fock_matrix, hf_electronic_energy
+from repro.scf.guard import GuardConfig, GuardEvent, SCFGuard
 from repro.scf.guess import core_guess
 from repro.scf.orthogonalization import density_from_fock, orthogonalizer
 from repro.scf.purification import purify
@@ -40,6 +42,10 @@ class SCFResult:
     coefficients: np.ndarray | None
     orbital_energies: np.ndarray | None
     energy_history: list[float] = field(default_factory=list)
+    #: typed convergence-guard event trail (empty when the guard is off)
+    guard_events: list[GuardEvent] = field(default_factory=list)
+    #: :meth:`repro.scf.guard.SCFGuard.summary` (None when the guard is off)
+    guard_summary: dict | None = None
 
     @property
     def homo_lumo_gap(self) -> float | None:
@@ -86,9 +92,23 @@ class RHF:
         history, DIIS window) to ``checkpoint_dir/scf_ckpt_NNNN.npz``
         after every iteration (see :mod:`repro.scf.checkpoint`).
     restart:
-        Resume from the latest snapshot in ``checkpoint_dir`` (if one
-        exists); the resumed run reproduces the uninterrupted
-        trajectory bitwise.  Overrides ``guess``.
+        Resume from the latest *intact* snapshot in ``checkpoint_dir``
+        (if one exists; corrupted snapshots are skipped with a
+        :class:`~repro.scf.checkpoint.CheckpointCorruptionWarning`); the
+        resumed run reproduces the uninterrupted trajectory bitwise.
+        Overrides ``guess``.  With a guard, the persisted remediation
+        state (damping, level shift, sticky fallbacks) is restored too.
+    guard:
+        Convergence watchdog + staged remediation
+        (:mod:`repro.scf.guard`).  ``True`` enables the default
+        :class:`~repro.scf.guard.GuardConfig`; pass a config to tune the
+        classifier and ladder; ``None``/``False`` (default) leaves the
+        iteration untouched bit for bit.
+    faults:
+        Optional :class:`~repro.runtime.faults.SCFFaultPlan` injecting
+        seeded NaN/Inf corruption into the batched ERI path and SCF
+        matrices (the ``repro chaos --family scf`` harness and the
+        torture suite); usually combined with ``guard``.
     """
 
     molecule: Molecule
@@ -104,6 +124,8 @@ class RHF:
     d_tol: float = 1e-7
     checkpoint_dir: str | None = None
     restart: bool = False
+    guard: GuardConfig | bool | None = None
+    faults: SCFFaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.molecule.nelectrons % 2 != 0:
@@ -114,6 +136,10 @@ class RHF:
             raise ValueError(f"unknown density_method {self.density_method!r}")
         if self.restart and self.checkpoint_dir is None:
             raise ValueError("restart=True requires checkpoint_dir")
+        if self.guard is True:
+            self.guard = GuardConfig()
+        elif self.guard is False:
+            self.guard = None
         self.basis = (
             self.engine.basis
             if self.engine is not None
@@ -156,6 +182,18 @@ class RHF:
             "repro_scf_iterations_total", "SCF iterations executed",
             labelnames=("molecule",),
         )
+        guard: SCFGuard | None = None
+        if self.guard is not None:
+            guard = SCFGuard(
+                self.guard, e_tol=self.e_tol, d_tol=self.d_tol,
+                molecule=mol_label,
+            )
+            self.engine.finite_check = self.guard.eri_sentinel
+        fault_state = None
+        if self.faults is not None and self.faults.has_faults:
+            fault_state = self.faults.activate()
+        self.engine.scf_faults = fault_state
+
         with tracer.span("scf_setup", cat="scf", molecule=mol_label):
             s = overlap(self.basis)
             h = core_hamiltonian(self.basis)
@@ -165,10 +203,12 @@ class RHF:
 
         diis = DIIS() if self.use_diis else None
         inc_builder = None
+        inc_cls = None
         if self.incremental:
             from repro.scf.incremental import IncrementalFockBuilder
 
-            inc_builder = IncrementalFockBuilder(self.engine, tau=self.tau)
+            inc_cls = IncrementalFockBuilder
+            inc_builder = inc_cls(self.engine, tau=self.tau)
         history: list[float] = []
         e_old = np.inf
         f = h
@@ -177,46 +217,114 @@ class RHF:
         converged = False
         start_it = 1
         if self.restart:
-            ck_path = latest_checkpoint(self.checkpoint_dir)
-            if ck_path is not None:
-                ck = load_checkpoint(ck_path)
+            ck = load_latest_intact(self.checkpoint_dir)
+            if ck is not None:
                 d = ck.density
                 e_old = ck.energy
                 history = list(ck.energy_history)
                 if diis is not None:
                     diis.load_state(ck.diis_focks, ck.diis_errors)
                 start_it = ck.iteration + 1
+                if guard is not None and ck.guard is not None:
+                    guard.load_state(ck.guard)
+                    # re-apply the sticky rungs to the rebuilt objects
+                    if guard.canonical_threshold is not None:
+                        x = orthogonalizer(
+                            s, threshold=guard.canonical_threshold,
+                            canonical=True,
+                        )
+                    if guard.reference_eri and self.engine.supports_reference_path:
+                        self.engine.force_reference_path()
                 tracer.instant(
                     "scf_restart", cat="scf", molecule=mol_label,
                     iteration=ck.iteration,
                 )
+
+        def build_fock(density: np.ndarray) -> np.ndarray:
+            if inc_builder is not None:
+                return inc_builder.fock(h, density)
+            return fock_matrix(self.engine, h, density, self.tau)
+
         it = start_it - 1
         for it in range(start_it, self.max_iter + 1):
             with tracer.span(
                 "scf_iteration", cat="scf", molecule=mol_label, iteration=it
             ) as sp:
                 with tracer.span("fock_build", cat="scf"):
+                    f = build_fock(d)
+                if fault_state is not None:
+                    f = fault_state.corrupt_matrix(f, it, "fock")
+                if guard is not None and not guard.check_matrix("fock", f, it):
+                    # arithmetic is broken, not merely slow: jump to the
+                    # fallback rungs, apply them, rebuild this Fock once
+                    guard.on_nonfinite(it, "fock")
+                    if guard.nonfinite_exhausted():
+                        raise guard.fail(it, "Fock matrix is non-finite")
+                    if guard.consume_diis_reset() and diis is not None:
+                        diis.reset()
+                    thr = guard.consume_canonical_orth()
+                    if thr is not None:
+                        x = orthogonalizer(s, threshold=thr, canonical=True)
+                    if (
+                        guard.consume_reference_eri()
+                        and self.engine.supports_reference_path
+                    ):
+                        self.engine.force_reference_path()
                     if inc_builder is not None:
-                        f = inc_builder.fock(h, d)
-                    else:
-                        f = fock_matrix(self.engine, h, d, self.tau)
+                        # the accumulated Fock may carry the corruption
+                        inc_builder = inc_cls(self.engine, tau=self.tau)
+                    with tracer.span("fock_rebuild", cat="scf"):
+                        f = build_fock(d)
+                    if not np.isfinite(f).all():
+                        raise guard.fail(
+                            it, "Fock matrix is non-finite after rebuild"
+                        )
                 e_elec = hf_electronic_energy(h, f, d)
                 history.append(e_elec + enuc)
                 if diis is not None:
+                    if guard is not None and guard.consume_diis_reset():
+                        diis.reset()
                     with tracer.span("diis", cat="scf"):
                         err = DIIS.error_vector(f, d, s, x)
                         diis.push(f, err)
                         f_eff = diis.extrapolate()
                 else:
                     f_eff = f
+                shift = guard.level_shift if guard is not None else 0.0
                 with tracer.span(self.density_method, cat="scf"):
                     if self.density_method == "diagonalize":
-                        d_new, eps, coeffs = density_from_fock(
-                            f_eff, x, self.nocc
-                        )
+                        if shift:
+                            d_new, eps, coeffs = density_from_fock(
+                                f_eff, x, self.nocc,
+                                level_shift=shift, overlap=s, density=d,
+                            )
+                        else:
+                            d_new, eps, coeffs = density_from_fock(
+                                f_eff, x, self.nocc
+                            )
                     else:
-                        res = purify(x.T @ f_eff @ x, self.nocc)
+                        f_or = x.T @ f_eff @ x
+                        if shift:
+                            p = x.T @ s @ d @ s @ x
+                            f_or = f_or + shift * (
+                                np.eye(f_or.shape[0]) - 0.5 * (p + p.T)
+                            )
+                        res = purify(f_or, self.nocc)
                         d_new = x @ res.density @ x.T
+                if fault_state is not None:
+                    d_new = fault_state.corrupt_matrix(d_new, it, "density")
+                discarded = False
+                if guard is not None and not guard.check_matrix(
+                    "density", d_new, it
+                ):
+                    guard.on_nonfinite(it, "density")
+                    if guard.nonfinite_exhausted():
+                        raise guard.fail(it, "density matrix is non-finite")
+                    guard.discard_iterate(it, "density")
+                    d_new = d  # keep the last good density
+                    discarded = True
+                if guard is not None:
+                    d_new = guard.damp(d_new, d)
                 d_change = float(np.max(np.abs(d_new - d)))
                 e_change = abs(e_elec + enuc - e_old)
                 e_old = e_elec + enuc
@@ -228,11 +336,28 @@ class RHF:
                 g_dd.set(d_change, molecule=mol_label)
                 if np.isfinite(e_change):
                     g_de.set(float(e_change), molecule=mol_label)
-                if d_change < self.d_tol and e_change < self.e_tol:
+                if guard is not None and not discarded:
+                    guard.observe(it, e_elec + enuc, d_change)
+                    thr = guard.consume_canonical_orth()
+                    if thr is not None:
+                        x = orthogonalizer(s, threshold=thr, canonical=True)
+                    if (
+                        guard.consume_reference_eri()
+                        and self.engine.supports_reference_path
+                    ):
+                        self.engine.force_reference_path()
+                        if inc_builder is not None:
+                            inc_builder = inc_cls(self.engine, tau=self.tau)
+                if (
+                    not discarded
+                    and d_change < self.d_tol
+                    and e_change < self.e_tol
+                ):
                     converged = True
             if self.checkpoint_dir is not None:
                 save_checkpoint(
-                    self.checkpoint_dir, it, d, e_old, history, diis
+                    self.checkpoint_dir, it, d, e_old, history, diis,
+                    guard=guard,
                 )
             if converged:
                 break
@@ -256,4 +381,6 @@ class RHF:
             coefficients=coeffs,
             orbital_energies=eps,
             energy_history=history,
+            guard_events=list(guard.events) if guard is not None else [],
+            guard_summary=guard.summary() if guard is not None else None,
         )

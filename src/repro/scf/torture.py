@@ -1,0 +1,280 @@
+"""SCF torture suite: pathological cases the convergence guard must survive.
+
+Each :class:`TortureCase` is a geometry / driver configuration known to
+break vanilla SCF -- period-2 density oscillators (stretched water
+without DIIS), slow near-dissociation convergence that exhausts a
+realistic iteration budget, a near-singular overlap matrix, and seeded
+NaN/Inf fault injection (:class:`~repro.runtime.faults.SCFFaultPlan`).
+
+The pass criterion is the PR's acceptance gate: under the guard, every
+case either **converges** or **terminates with a classified, actionable
+GuardEvent trail** -- a finite final energy and a typed event history,
+never a NaN energy and never silent ``max_iter`` exhaustion.
+
+Run via ``repro torture`` (``--quick`` for the CI subset) or
+:func:`run_torture` directly; ``tests/test_guard.py`` pins the rescue
+cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.chem.molecule import Molecule
+from repro.runtime.faults import SCFFaultPlan
+from repro.scf.guard import GuardConfig, GuardError
+from repro.scf.hf import RHF
+
+
+def stretched_water(factor: float) -> Molecule:
+    """Water with both OH bonds scaled by ``factor`` (Angstrom geometry).
+
+    Around 2x the equilibrium bond length, plain fixed-point SCF turns
+    into a perfect period-2 density oscillator; with DIIS, convergence
+    survives longer but slows enough to exhaust realistic iteration
+    budgets near 3x.
+    """
+    base = np.array(
+        [[0.0, 0.0, 0.1173], [0.0, 0.7572, -0.4692], [0.0, -0.7572, -0.4692]]
+    )
+    o = base[0]
+    coords = base.copy()
+    for i in (1, 2):
+        coords[i] = o + factor * (base[i] - o)
+    return Molecule.from_arrays(
+        ["O", "H", "H"], coords, name=f"water_x{factor:g}"
+    )
+
+
+def near_singular_h4() -> Molecule:
+    """An H4 chain with one near-coincident pair (1e-4 Angstrom).
+
+    The overlap matrix is numerically near-singular (condition well
+    above 1e8), which must trip the orthogonalizer's automatic switch to
+    canonical orthogonalization instead of amplifying noise through
+    ``S^{-1/2}``.
+    """
+    coords = np.array(
+        [[0.0, 0.0, 0.0], [1e-4, 0.0, 0.0], [0.0, 0.0, 0.9], [0.0, 0.0, 1.8]]
+    )
+    return Molecule.from_arrays(["H", "H", "H", "H"], coords, name="h4_near_singular")
+
+
+@dataclass(frozen=True)
+class TortureCase:
+    """One pathological SCF configuration plus its iteration budget."""
+
+    name: str
+    description: str
+    make_molecule: Callable[[], Molecule]
+    basis_name: str = "sto-3g"
+    use_diis: bool = True
+    max_iter: int = 100
+    faults: SCFFaultPlan | None = None
+    #: included in ``--quick`` (CI) runs
+    quick: bool = True
+
+
+TORTURE_CASES: tuple[TortureCase, ...] = (
+    TortureCase(
+        name="oscillator_x2.0",
+        description="stretched water (2.0x OH), no DIIS: period-2 oscillator",
+        make_molecule=lambda: stretched_water(2.0),
+        use_diis=False,
+        max_iter=300,
+    ),
+    TortureCase(
+        name="oscillator_x2.5",
+        description="stretched water (2.5x OH), no DIIS: period-2 oscillator",
+        make_molecule=lambda: stretched_water(2.5),
+        use_diis=False,
+        max_iter=200,
+        quick=False,
+    ),
+    TortureCase(
+        name="stretched_diis_x3.0",
+        description="near-dissociated water (3.0x OH), DIIS stalls past budget",
+        make_molecule=lambda: stretched_water(3.0),
+        use_diis=True,
+        max_iter=100,
+    ),
+    TortureCase(
+        name="near_singular_overlap",
+        description="H4 with a 1e-4 A pair: overlap condition > 1e8",
+        make_molecule=near_singular_h4,
+        use_diis=True,
+        max_iter=100,
+    ),
+    TortureCase(
+        name="nan_quartets",
+        description="seeded NaN/Inf corruption of batched ERI blocks",
+        make_molecule=lambda: stretched_water(1.0),
+        use_diis=True,
+        max_iter=60,
+        faults=SCFFaultPlan(
+            seed=11,
+            quartet_nan_rate=0.02,
+            quartet_inf_rate=0.02,
+            max_corruptions=64,
+        ),
+    ),
+    TortureCase(
+        name="nan_fock",
+        description="NaN injected into the Fock matrix at iterations 2 and 4",
+        make_molecule=lambda: stretched_water(1.0),
+        use_diis=True,
+        max_iter=60,
+        faults=SCFFaultPlan(seed=5, fock_nan_iterations=(2, 4)),
+    ),
+)
+
+
+@dataclass
+class TortureOutcome:
+    """What one torture case did under (and without) the guard."""
+
+    case: TortureCase
+    converged: bool
+    energy: float
+    iterations: int
+    aborted: bool
+    abort_reason: str
+    guard_summary: dict | None
+    trail: list[str] = field(default_factory=list)
+    #: the same case without the guard (None when not run)
+    vanilla_converged: bool | None = None
+
+    @property
+    def classified(self) -> bool:
+        """A non-empty typed event trail explains the outcome."""
+        return bool(self.trail) or self.aborted
+
+    @property
+    def passed(self) -> bool:
+        """The acceptance gate: converge, or fail *with an explanation*."""
+        if self.converged:
+            return bool(np.isfinite(self.energy))
+        return self.classified and bool(
+            self.aborted or np.isfinite(self.energy)
+        )
+
+    @property
+    def status(self) -> str:
+        if self.converged:
+            return "converged"
+        if self.aborted:
+            return "aborted(classified)"
+        return "classified" if self.classified else "UNEXPLAINED"
+
+
+def run_case(
+    case: TortureCase,
+    guard: GuardConfig | bool = True,
+    vanilla: bool = True,
+) -> TortureOutcome:
+    """Run one case under the guard (and optionally without, for contrast)."""
+    vanilla_converged = None
+    if vanilla:
+        res_v = RHF(
+            case.make_molecule(),
+            basis_name=case.basis_name,
+            use_diis=case.use_diis,
+            max_iter=case.max_iter,
+        ).run()
+        vanilla_converged = bool(
+            res_v.converged and np.isfinite(res_v.energy)
+        )
+    rhf = RHF(
+        case.make_molecule(),
+        basis_name=case.basis_name,
+        use_diis=case.use_diis,
+        max_iter=case.max_iter,
+        guard=guard,
+        faults=case.faults,
+    )
+    try:
+        res = rhf.run()
+    except GuardError as exc:
+        return TortureOutcome(
+            case=case,
+            converged=False,
+            energy=float("nan"),
+            iterations=0,
+            aborted=True,
+            abort_reason=str(exc),
+            guard_summary=None,
+            trail=[ev.describe() for ev in exc.events],
+            vanilla_converged=vanilla_converged,
+        )
+    return TortureOutcome(
+        case=case,
+        converged=bool(res.converged),
+        energy=float(res.energy),
+        iterations=res.iterations,
+        aborted=False,
+        abort_reason="",
+        guard_summary=res.guard_summary,
+        trail=[ev.describe() for ev in res.guard_events],
+        vanilla_converged=vanilla_converged,
+    )
+
+
+def run_torture(
+    quick: bool = False,
+    guard: GuardConfig | bool = True,
+    vanilla: bool = True,
+    cases: tuple[TortureCase, ...] | None = None,
+) -> list[TortureOutcome]:
+    """Run the suite (the ``--quick`` subset in CI) and return outcomes."""
+    selected = cases if cases is not None else TORTURE_CASES
+    if quick:
+        selected = tuple(c for c in selected if c.quick)
+    return [run_case(c, guard=guard, vanilla=vanilla) for c in selected]
+
+
+def torture_table(outcomes: list[TortureOutcome]) -> list[str]:
+    """Fixed-width summary table, one line per case."""
+    lines = [
+        f"{'case':<24} {'vanilla':<8} {'guarded':<20} {'iters':>5} "
+        f"{'energy (Ha)':>14}  events",
+        "-" * 86,
+    ]
+    for o in outcomes:
+        vanilla = (
+            "-" if o.vanilla_converged is None
+            else ("ok" if o.vanilla_converged else "FAIL")
+        )
+        energy = f"{o.energy:.6f}" if np.isfinite(o.energy) else "nan"
+        nevents = len(o.trail)
+        lines.append(
+            f"{o.case.name:<24} {vanilla:<8} {o.status:<20} "
+            f"{o.iterations:>5} {energy:>14}  {nevents}"
+        )
+    npassed = sum(1 for o in outcomes if o.passed)
+    lines.append("-" * 86)
+    lines.append(f"{npassed}/{len(outcomes)} cases passed the guard gate")
+    return lines
+
+
+def torture_json(outcomes: list[TortureOutcome]) -> list[dict]:
+    """JSON-friendly outcome records (the ``repro torture --json`` payload)."""
+    return [
+        {
+            "case": o.case.name,
+            "description": o.case.description,
+            "vanilla_converged": o.vanilla_converged,
+            "converged": o.converged,
+            "status": o.status,
+            "passed": o.passed,
+            "energy": o.energy if np.isfinite(o.energy) else None,
+            "iterations": o.iterations,
+            "aborted": o.aborted,
+            "abort_reason": o.abort_reason,
+            "guard": o.guard_summary,
+            "trail": o.trail,
+        }
+        for o in outcomes
+    ]

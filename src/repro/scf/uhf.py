@@ -22,6 +22,7 @@ from repro.integrals.engine import ERIEngine, MDEngine
 from repro.integrals.oneelec import core_hamiltonian, overlap
 from repro.scf.diis import DIIS
 from repro.scf.fock import build_jk
+from repro.scf.guard import GuardConfig, GuardEvent, SCFGuard
 from repro.scf.orthogonalization import density_from_fock, orthogonalizer
 
 
@@ -39,6 +40,10 @@ class UHFResult:
     orbital_energies_alpha: np.ndarray | None
     orbital_energies_beta: np.ndarray | None
     energy_history: list[float] = field(default_factory=list)
+    #: typed convergence-guard event trail (empty when the guard is off)
+    guard_events: list[GuardEvent] = field(default_factory=list)
+    #: :meth:`repro.scf.guard.SCFGuard.summary` (None when the guard is off)
+    guard_summary: dict | None = None
 
     @property
     def spin_density(self) -> np.ndarray:
@@ -71,6 +76,8 @@ class UHF:
     #: symmetry-breaking mix of the beta HOMO/LUMO at the guess (radians);
     #: nonzero values let UHF escape spin-restricted saddle points
     guess_mix: float = 0.0
+    #: convergence watchdog (:mod:`repro.scf.guard`); ``True`` = defaults
+    guard: GuardConfig | bool | None = None
 
     def __post_init__(self) -> None:
         nel = self.molecule.nelectrons
@@ -92,8 +99,19 @@ class UHF:
             self.engine = MDEngine(self.basis)
         if self.n_alpha > self.basis.nbf:
             raise ValueError("more alpha electrons than basis functions")
+        if self.guard is True:
+            self.guard = GuardConfig()
+        elif self.guard is False:
+            self.guard = None
 
     def run(self) -> UHFResult:
+        guard: SCFGuard | None = None
+        if self.guard is not None:
+            guard = SCFGuard(
+                self.guard, e_tol=self.e_tol, d_tol=self.d_tol,
+                molecule=self.molecule.name or self.molecule.formula,
+            )
+            self.engine.finite_check = self.guard.eri_sentinel
         s = overlap(self.basis)
         h = core_hamiltonian(self.basis)
         x = orthogonalizer(s)
@@ -130,6 +148,39 @@ class UHF:
                 f_b = h + j_tot - k_b
             else:
                 f_b = h + j_tot
+            if guard is not None:
+                bad = not guard.check_matrix("fock_alpha", f_a, it)
+                bad = not guard.check_matrix("fock_beta", f_b, it) or bad
+                if bad:
+                    guard.on_nonfinite(it, "fock")
+                    if guard.nonfinite_exhausted():
+                        raise guard.fail(it, "Fock matrix is non-finite")
+                    if guard.consume_diis_reset() and diis_a is not None:
+                        diis_a.reset()
+                        diis_b.reset()
+                    thr = guard.consume_canonical_orth()
+                    if thr is not None:
+                        x = orthogonalizer(s, threshold=thr, canonical=True)
+                    if (
+                        guard.consume_reference_eri()
+                        and self.engine.supports_reference_path
+                    ):
+                        self.engine.force_reference_path()
+                    # rebuild both spins on the degraded configuration
+                    j_tot, _ = build_jk(self.engine, d_total, self.tau)
+                    _, k_a = build_jk(self.engine, d_a, self.tau)
+                    f_a = h + j_tot - k_a
+                    if self.n_beta > 0:
+                        _, k_b = build_jk(self.engine, d_b, self.tau)
+                        f_b = h + j_tot - k_b
+                    else:
+                        f_b = h + j_tot
+                    if not (
+                        np.isfinite(f_a).all() and np.isfinite(f_b).all()
+                    ):
+                        raise guard.fail(
+                            it, "Fock matrix is non-finite after rebuild"
+                        )
             e_elec = 0.5 * float(
                 np.sum(d_total * h) + np.sum(d_a * f_a) + np.sum(d_b * f_b)
             )
@@ -137,6 +188,9 @@ class UHF:
 
             f_a_eff, f_b_eff = f_a, f_b
             if diis_a is not None:
+                if guard is not None and guard.consume_diis_reset():
+                    diis_a.reset()
+                    diis_b.reset()
                 err_a = DIIS.error_vector(f_a, d_a, s, x)
                 diis_a.push(f_a, err_a)
                 f_a_eff = diis_a.extrapolate()
@@ -145,11 +199,29 @@ class UHF:
                     diis_b.push(f_b, err_b)
                     f_b_eff = diis_b.extrapolate()
 
-            d_a_new, eps_a, _ca = density_from_fock(f_a_eff, x, self.n_alpha)
+            shift = guard.level_shift if guard is not None else 0.0
+            if shift:
+                d_a_new, eps_a, _ca = density_from_fock(
+                    f_a_eff, x, self.n_alpha,
+                    level_shift=shift, overlap=s, density=d_a,
+                )
+            else:
+                d_a_new, eps_a, _ca = density_from_fock(f_a_eff, x, self.n_alpha)
             if self.n_beta > 0:
-                d_b_new, eps_b, _cb = density_from_fock(f_b_eff, x, self.n_beta)
+                if shift:
+                    d_b_new, eps_b, _cb = density_from_fock(
+                        f_b_eff, x, self.n_beta,
+                        level_shift=shift, overlap=s, density=d_b,
+                    )
+                else:
+                    d_b_new, eps_b, _cb = density_from_fock(
+                        f_b_eff, x, self.n_beta
+                    )
             else:
                 d_b_new = np.zeros_like(d_a_new)
+            if guard is not None:
+                d_a_new = guard.damp(d_a_new, d_a)
+                d_b_new = guard.damp(d_b_new, d_b)
             change = max(
                 float(np.max(np.abs(d_a_new - d_a))),
                 float(np.max(np.abs(d_b_new - d_b))),
@@ -157,6 +229,16 @@ class UHF:
             e_change = abs(history[-1] - e_old)
             e_old = history[-1]
             d_a, d_b = d_a_new, d_b_new
+            if guard is not None:
+                guard.observe(it, history[-1], change)
+                thr = guard.consume_canonical_orth()
+                if thr is not None:
+                    x = orthogonalizer(s, threshold=thr, canonical=True)
+                if (
+                    guard.consume_reference_eri()
+                    and self.engine.supports_reference_path
+                ):
+                    self.engine.force_reference_path()
             if change < self.d_tol and e_change < self.e_tol:
                 converged = True
                 break
@@ -174,4 +256,6 @@ class UHF:
             orbital_energies_alpha=eps_a,
             orbital_energies_beta=eps_b,
             energy_history=history,
+            guard_events=list(guard.events) if guard is not None else [],
+            guard_summary=guard.summary() if guard is not None else None,
         )

@@ -22,6 +22,15 @@ def check_positive(value: float, name: str) -> None:
         raise ValueError(f"{name} must be positive, got {value!r}")
 
 
+def check_finite(a: np.ndarray, name: str = "array") -> None:
+    """Require every element of ``a`` to be finite (no NaN/Inf)."""
+    if a.size and not np.isfinite(a).all():
+        bad = int(a.size - np.isfinite(a).sum())
+        raise ValueError(
+            f"{name} contains {bad} non-finite element(s) (NaN or Inf)"
+        )
+
+
 def check_square(a: np.ndarray, name: str = "matrix") -> None:
     """Require ``a`` to be a square 2-D array."""
     if a.ndim != 2 or a.shape[0] != a.shape[1]:

@@ -66,10 +66,20 @@ class TestNuclearRepulsion:
         m_he = Molecule.from_arrays(["He", "H"], np.array([[0, 0, 0], [0, 0, d]]))
         assert abs(m_he.nuclear_repulsion() - 2 * m_hh.nuclear_repulsion()) < 1e-10
 
-    def test_coincident_nuclei_raise(self):
-        m = Molecule.from_arrays(["H", "H"], np.zeros((2, 3)))
-        with pytest.raises(ValueError):
-            m.nuclear_repulsion()
+    def test_coincident_nuclei_raise_at_construction(self):
+        with pytest.raises(ValueError, match=r"atoms\[1\].*coincides with atoms\[0\]"):
+            Molecule.from_arrays(["H", "H"], np.zeros((2, 3)))
+
+    def test_nearly_coincident_nuclei_raise(self):
+        coords = np.array([[0.0, 0.0, 0.0], [1e-8, 0.0, 0.0]])
+        with pytest.raises(ValueError, match="coincidence tolerance"):
+            Molecule.from_arrays(["O", "H"], coords)
+
+    def test_close_but_distinct_nuclei_allowed(self):
+        # 0.02 A is pathological but above the coincidence tolerance
+        coords = np.array([[0.0, 0.0, 0.0], [0.02, 0.0, 0.0]])
+        m = Molecule.from_arrays(["H", "H"], coords)
+        assert m.nuclear_repulsion() > 0
 
     def test_water_value_positive(self):
         assert water().nuclear_repulsion() > 0
