@@ -8,11 +8,28 @@ tables inline); the reports are also appended to
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def provenance_artifact():
+    """Stamp benchmarks/out/provenance.json once per suite run.
+
+    BENCH_*.json entries carry no machine info; this sidecar records
+    which interpreter/numpy/host produced the numbers appended by the
+    session so regressions can be traced to toolchain changes.
+    """
+    from repro.obs.manifest import provenance, utc_now_iso
+
+    OUT_DIR.mkdir(exist_ok=True)
+    doc = {"written_utc": utc_now_iso(), **provenance()}
+    (OUT_DIR / "provenance.json").write_text(json.dumps(doc, indent=2) + "\n")
+    yield
 
 
 @pytest.fixture(scope="session")

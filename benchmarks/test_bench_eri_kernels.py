@@ -21,7 +21,6 @@ touch the history file.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import sys
 import time
@@ -29,6 +28,7 @@ import time
 import numpy as np
 
 from repro.bench.harness import format_table
+from repro.bench.record import append_history as _append_history
 from repro.chem.basis.basisset import BasisSet
 from repro.chem.builders import water
 from repro.integrals.engine import MDEngine
@@ -94,14 +94,10 @@ def run_eri_kernel_bench(basis_name: str = "6-31g") -> dict:
 
 def append_history(entry: dict, path: pathlib.Path = HISTORY_PATH) -> None:
     """Append one datapoint to the BENCH_eri.json trajectory."""
-    entry = dict(entry, timestamp=time.strftime("%Y-%m-%dT%H:%M:%S"))
-    if path.exists():
-        doc = json.loads(path.read_text())
-    else:
-        doc = {"description": "ERI kernel perf trajectory (see docs/PERFORMANCE.md)",
-               "history": []}
-    doc["history"].append(entry)
-    path.write_text(json.dumps(doc, indent=2) + "\n")
+    _append_history(
+        entry, path,
+        description="ERI kernel perf trajectory (see docs/PERFORMANCE.md)",
+    )
 
 
 def render_report(result: dict) -> str:

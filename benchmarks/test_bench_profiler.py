@@ -1,0 +1,139 @@
+"""Profiler overhead: water/6-31G Fock builds with phase probes on vs off.
+
+The phase probes sit on the hottest path in the repo -- two context-
+manager entries per surviving ERI quartet (``eri_quartets`` and
+``jk_contraction``) -- so this benchmark is the acceptance gate for the
+observability work: profiling a healthy Fock build must cost <= 5% wall
+time.
+
+Methodology: whole-SCF A/B timing cannot resolve a 5% gate on shared
+runners (run-to-run noise alone is ~6%), so the benchmark times single
+warm-cache :func:`build_jk` calls with the profiler off and on,
+*interleaved* round by round so both configurations see the same
+machine drift, and takes the min of each (scheduler noise is one-sided).
+Each full run appends one ``phase_profiler`` datapoint to
+``BENCH_fock.json`` so ``repro perf check`` watches the probe cost over
+time.  Run as a pytest benchmark or as a script; ``--quick`` uses fewer
+rounds and skips the history file.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.builders import water
+from repro.fock.reorder import reorder_basis
+from repro.integrals.engine import MDEngine
+from repro.integrals.oneelec import core_hamiltonian, overlap
+from repro.obs.profile import PHASE_ERI, PhaseProfiler, set_profiler
+from repro.scf.fock import build_jk
+from repro.scf.guess import core_guess
+from repro.scf.orthogonalization import orthogonalizer
+
+from test_bench_table3_times import append_history
+
+ROUNDS = 10
+OVERHEAD_GATE = 0.05
+
+
+def _timed_build(engine, density, profiler):
+    prev = set_profiler(profiler)
+    try:
+        t0 = time.perf_counter()
+        jk = build_jk(engine, density)
+        return time.perf_counter() - t0, jk
+    finally:
+        set_profiler(prev)
+
+
+def run_profiler_bench(rounds: int = ROUNDS) -> dict:
+    """Interleaved min-of-N wall times for probes off/on on one engine."""
+    mol = water()
+    basis = reorder_basis(BasisSet.build(mol, "6-31g"))
+    engine = MDEngine(basis)
+    hcore = core_hamiltonian(basis)
+    x = orthogonalizer(overlap(basis))
+    density = core_guess(hcore, x, mol.nelectrons // 2)
+    build_jk(engine, density)  # warm the quartet/Schwarz caches
+
+    off, on = [], []
+    jk_off = jk_on = None
+    profiler = None
+    for i in range(rounds):
+        # alternate which configuration goes first so slow drift (cache
+        # state, thermal, co-tenant load) cannot bias one side
+        configs = ("off", "on") if i % 2 == 0 else ("on", "off")
+        for config in configs:
+            if config == "off":
+                t, jk_off = _timed_build(engine, density, None)
+                off.append(t)
+            else:
+                profiler = PhaseProfiler()
+                t, jk_on = _timed_build(engine, density, profiler)
+                on.append(t)
+    t_off = min(off)
+    t_on = min(on)
+    quartets = next(
+        (p.calls for p in profiler.phases() if p.name == PHASE_ERI), 0
+    )
+    fock_matches = bool(
+        np.array_equal(jk_off[0], jk_on[0])
+        and np.array_equal(jk_off[1], jk_on[1])
+    )
+    return {
+        "benchmark": "phase_profiler",
+        "molecule": "water",
+        "basis": "6-31g",
+        "rounds": rounds,
+        "wall_off_s": round(t_off, 4),
+        "wall_on_s": round(t_on, 4),
+        "overhead": round(t_on / t_off - 1.0, 4),
+        "quartets_profiled": int(quartets),
+        "fock_matches": fock_matches,
+    }
+
+
+def check_entry(entry: dict) -> None:
+    """The acceptance gate: probes are observation, not perturbation."""
+    assert entry["fock_matches"], "profiler changed the Fock matrices"
+    assert entry["quartets_profiled"] > 0, "probes never fired"
+    assert entry["overhead"] <= OVERHEAD_GATE, (
+        f"profiler overhead {entry['overhead']:.1%} exceeds "
+        f"{OVERHEAD_GATE:.0%} gate "
+        f"(off {entry['wall_off_s']}s, on {entry['wall_on_s']}s)"
+    )
+
+
+def _describe(entry: dict) -> str:
+    return (
+        "phase_profiler: water/6-31g warm build_jk overhead "
+        f"{entry['overhead']:+.1%} (off {entry['wall_off_s']}s, "
+        f"on {entry['wall_on_s']}s, "
+        f"{entry['quartets_profiled']} quartets profiled)"
+    )
+
+
+def test_bench_profiler(benchmark, emit):
+    entry = benchmark.pedantic(run_profiler_bench, rounds=1, iterations=1)
+    emit(_describe(entry))
+    check_entry(entry)
+    append_history(entry)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    entry = run_profiler_bench(rounds=3 if quick else ROUNDS)
+    print(_describe(entry))
+    check_entry(entry)
+    if not quick:
+        append_history(entry)
+        print("appended phase_profiler datapoint to BENCH_fock.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

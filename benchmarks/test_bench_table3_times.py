@@ -9,12 +9,12 @@ the GTFock/NWChem ratio).  Run as a pytest benchmark or as a script;
 
 from __future__ import annotations
 
-import json
 import pathlib
 import sys
 import time
 
 from repro.bench.experiments import table3_times
+from repro.bench.record import append_history as _append_history
 
 HISTORY_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_fock.json"
 
@@ -45,17 +45,11 @@ def run_table3_bench() -> tuple[dict, object]:
 
 def append_history(entry: dict, path: pathlib.Path = HISTORY_PATH) -> None:
     """Append one datapoint to the BENCH_fock.json trajectory."""
-    entry = dict(entry, timestamp=time.strftime("%Y-%m-%dT%H:%M:%S"))
-    if path.exists():
-        doc = json.loads(path.read_text())
-    else:
-        doc = {
-            "description": "Fock-simulation perf trajectory "
-            "(see docs/PERFORMANCE.md)",
-            "history": [],
-        }
-    doc["history"].append(entry)
-    path.write_text(json.dumps(doc, indent=2) + "\n")
+    _append_history(
+        entry, path,
+        description="Fock-simulation perf trajectory "
+        "(see docs/PERFORMANCE.md)",
+    )
 
 
 def check_report(report) -> None:

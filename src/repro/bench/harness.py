@@ -25,6 +25,7 @@ from repro.fock.reorder import reorder_basis
 from repro.fock.screening_map import ScreeningMap
 from repro.integrals.schwarz import schwarz_model
 from repro.obs import get_tracer
+from repro.obs.profile import PHASE_SCHWARZ, get_profiler
 from repro.runtime.machine import LONESTAR, MachineConfig
 
 #: The paper's screening tolerance (Sec IV-A).
@@ -113,7 +114,8 @@ def molecule_setup(
         if reorder:
             with tracer.span("reorder", cat="bench"):
                 basis = reorder_basis(basis)
-        with tracer.span("screening", cat="bench"):
+        with tracer.span("screening", cat="bench"), \
+                get_profiler().phase(PHASE_SCHWARZ):
             screen = ScreeningMap(basis, schwarz_model(basis), tau)
         with tracer.span("cost_matrix", cat="bench"):
             costs = quartet_cost_matrix(screen)

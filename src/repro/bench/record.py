@@ -1,0 +1,112 @@
+"""Shared BENCH_*.json trajectory recording with schema validation.
+
+Every perf benchmark appends one datapoint to an append-only history
+file at the repo root (``BENCH_eri.json``, ``BENCH_fock.json``); the
+regression observatory (:mod:`repro.obs.regress`) reads them back.
+The append logic used to be copy-pasted across ``benchmarks/test_bench_
+*.py`` with naive local timestamps -- this module is the one shared
+implementation:
+
+* :func:`append_history` validates the entry against the per-benchmark
+  :data:`SCHEMAS` (required keys, expected types) before anything is
+  written, so a malformed datapoint fails the benchmark instead of
+  silently poisoning the trajectory the observatory grades;
+* all new timestamps are timezone-aware UTC ISO-8601 (existing naive
+  local entries remain readable -- the observatory only sorts/displays
+  them).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.obs.manifest import utc_now_iso
+
+#: required keys and types per benchmark family.  ``float`` accepts any
+#: non-bool number; benchmarks not listed here only need a ``benchmark``
+#: name (new families can start recording before they grow a schema).
+SCHEMAS: dict[str, dict[str, type]] = {
+    "eri_kernels": {
+        "molecule": str,
+        "basis": str,
+        "t_seed_s": float,
+        "t_batched_s": float,
+        "batched_speedup": float,
+        "max_abs_diff": float,
+        "t_cached_iter2_s": float,
+        "cache_iter2_hit_rate": float,
+    },
+    "fock_table3": {
+        "wall_s": float,
+        "molecules": dict,
+    },
+    "fock_chaos": {
+        "wall_s": float,
+        "fock_error": float,
+        "fault_slowdown": float,
+        "passed": bool,
+    },
+    "scf_guard": {
+        "wall_off_s": float,
+        "wall_on_s": float,
+        "overhead": float,
+        "energy_matches": bool,
+    },
+    "phase_profiler": {
+        "wall_off_s": float,
+        "wall_on_s": float,
+        "overhead": float,
+    },
+}
+
+
+def _type_ok(value, expected: type) -> bool:
+    if expected is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected is bool:
+        return isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+def validate_entry(entry: dict) -> None:
+    """Raise ``ValueError`` naming the first missing/mistyped field."""
+    if not isinstance(entry, dict):
+        raise ValueError("benchmark entry must be a dict")
+    name = entry.get("benchmark")
+    if not isinstance(name, str) or not name:
+        raise ValueError(
+            "benchmark entry: missing required field 'benchmark' (str)"
+        )
+    schema = SCHEMAS.get(name, {})
+    for key, expected in schema.items():
+        if key not in entry:
+            raise ValueError(
+                f"benchmark entry {name!r}: missing required field {key!r}"
+            )
+        if not _type_ok(entry[key], expected):
+            raise ValueError(
+                f"benchmark entry {name!r}: field {key!r} should be "
+                f"{expected.__name__}, got "
+                f"{type(entry[key]).__name__} ({entry[key]!r})"
+            )
+
+
+def append_history(
+    entry: dict,
+    path: pathlib.Path,
+    description: str = "perf trajectory (see docs/PERFORMANCE.md)",
+) -> dict:
+    """Validate ``entry``, stamp it with UTC time, and append it to ``path``.
+
+    Returns the stamped entry actually written.
+    """
+    validate_entry(entry)
+    entry = dict(entry, timestamp=utc_now_iso())
+    if path.exists():
+        doc = json.loads(path.read_text())
+    else:
+        doc = {"description": description, "history": []}
+    doc["history"].append(entry)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return entry

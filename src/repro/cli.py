@@ -7,16 +7,26 @@ scf MOLECULE [--basis NAME]     run RHF on a built-in molecule
 table{2..9} / fig1 / fig2       regenerate one evaluation artifact
 model                           Sec III-G performance-model analysis
 ablation {reorder,steal,grain}  design-choice ablations
-report MOLECULE [--out PATH]    self-contained HTML run report
+report MOLECULE [--out PATH]    self-contained HTML run report; pass a
+                                run *directory* instead of a molecule to
+                                render a persisted run after the fact
 chaos MOLECULE [--seed N]       fault-injected build, verified vs fault-free
                                 (``--family scf`` = NaN/Inf ERI corruption)
 torture [--quick]               SCF torture suite under the convergence guard
+perf profile [MOLECULE]         profiled RHF: phase table + cProfile hotspots
+perf check [--quick]            grade the BENCH_*.json perf trajectories
+                                (exits nonzero on FAIL -- the CI gate)
+perf history                    print the tracked-metric trajectories
+info                            provenance: versions, git SHA, CPU count
 list                            list built-in molecules and bases
 
 Every command accepts ``--trace PATH`` (Chrome trace-event JSON --
 open it at https://ui.perfetto.dev -- or raw span records with a
-``.jsonl`` extension) and ``--metrics PATH`` (JSON, or Prometheus text
-exposition with a ``.prom`` extension).  See ``docs/OBSERVABILITY.md``.
+``.jsonl`` extension), ``--metrics PATH`` (JSON, or Prometheus text
+exposition with a ``.prom`` extension), ``--profile`` (phase wall/CPU
+attribution, table printed on exit), and ``--run-dir DIR`` (durable run
+ledger: manifest.json + metrics.jsonl + summary.json, renderable later
+with ``repro report DIR``).  See ``docs/OBSERVABILITY.md``.
 
 Set ``REPRO_FULL=1`` to run evaluation commands at the paper's exact
 molecule sizes.
@@ -32,9 +42,9 @@ from repro.chem.basis.basisset import BASIS_REGISTRY, BasisSet
 from repro.chem.builders import PAPER_MOLECULES, SCALED_MOLECULES, paper_molecule
 
 
-def _run_scf(args: argparse.Namespace) -> int:
+def _build_molecule(name: str):
+    """A built-in demo molecule or a paper molecule/stand-in by name."""
     from repro.chem import builders
-    from repro.scf import RHF, GuardConfig
 
     simple = {
         "water": builders.water,
@@ -42,10 +52,15 @@ def _run_scf(args: argparse.Namespace) -> int:
         "methane": builders.methane,
         "benzene": builders.benzene,
     }
-    if args.molecule in simple:
-        mol = simple[args.molecule]()
-    else:
-        mol = paper_molecule(args.molecule)
+    if name in simple:
+        return simple[name]()
+    return paper_molecule(name)
+
+
+def _run_scf(args: argparse.Namespace) -> int:
+    from repro.scf import RHF, GuardConfig
+
+    mol = _build_molecule(args.molecule)
     guard = None
     if args.guard:
         guard = GuardConfig(
@@ -163,6 +178,21 @@ def _run_ablation(args: argparse.Namespace) -> int:
 
 def _run_report(args: argparse.Namespace) -> int:
     from repro.obs.report import run_report, write_report
+
+    if os.path.isdir(args.molecule) or os.sep in args.molecule:
+        # a run directory, not a molecule: render the persisted ledger
+        from repro.obs.manifest import LedgerError, load_run
+        from repro.obs.report import render_ledger_report
+
+        try:
+            record = load_run(args.molecule)
+        except LedgerError as exc:
+            print(f"repro report: {exc}", file=sys.stderr)
+            return 2
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(render_ledger_report(record))
+        print(f"report for run {record.title} written to {args.out}")
+        return 0
 
     report, _result = run_report(
         molecule=args.molecule,
@@ -301,6 +331,104 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_info() -> int:
+    from repro.obs.manifest import provenance
+
+    pv = provenance()
+    width = max(len(k) for k in pv)
+    for key in (
+        "package", "version", "git_sha", "python", "numpy", "scipy",
+        "platform", "cpu_count",
+    ):
+        print(f"{key:<{width}} = {pv[key]}")
+    return 0
+
+
+#: default BENCH history files graded by ``repro perf check`` (cwd-relative:
+#: run from the repo root, or point --history elsewhere)
+_DEFAULT_HISTORIES = ("BENCH_eri.json", "BENCH_fock.json")
+
+
+def _run_perf_profile(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import get_ledger
+    from repro.obs.profile import (
+        PhaseProfiler,
+        hotspot_text,
+        profile_hotspots,
+        set_profiler,
+    )
+    from repro.scf import RHF
+
+    mol = _build_molecule(args.molecule)
+    print(
+        f"profiled RHF/{args.basis} on {mol.formula} "
+        f"(cProfile top {args.top}"
+        + (", tracemalloc phase attribution" if args.alloc else "")
+        + ")"
+    )
+    profiler = PhaseProfiler(alloc=args.alloc)
+    prev = set_profiler(profiler)
+    try:
+        result, hotspots = profile_hotspots(
+            lambda: RHF(
+                mol, basis_name=args.basis, max_iter=args.max_iter
+            ).run(),
+            top=args.top,
+        )
+    finally:
+        set_profiler(prev)
+    print(f"energy      = {result.energy:.8f} hartree")
+    print(f"converged   = {result.converged} ({result.iterations} iterations)")
+    print()
+    print(profiler.table())
+    print()
+    print(hotspot_text(hotspots))
+    profiler.export_metrics()
+    get_ledger().attach_profile(profiler, hotspots)
+    profiler.close()
+    return 0 if result.converged else 1
+
+
+def _run_perf_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.regress import grade
+
+    histories = args.history or list(_DEFAULT_HISTORIES)
+    report = grade(
+        histories, quick=args.quick, window=args.last, runs=args.runs
+    )
+    print(report.text())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+        print(f"check summary written to {args.json}")
+    if not report.passed:
+        print(
+            "perf check FAILED: a tracked metric regressed beyond its "
+            "fail threshold (see docs/PERFORMANCE.md)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_perf_history(args: argparse.Namespace) -> int:
+    from repro.obs.regress import history_text
+
+    histories = args.history or list(_DEFAULT_HISTORIES)
+    print(history_text(histories, last=args.points))
+    return 0
+
+
+def _run_perf(args: argparse.Namespace) -> int:
+    if args.perf_command == "profile":
+        return _run_perf_profile(args)
+    if args.perf_command == "check":
+        return _run_perf_check(args)
+    return _run_perf_history(args)
+
+
 def _run_list() -> int:
     print("paper molecules :", ", ".join(sorted(PAPER_MOLECULES)))
     print("scaled stand-ins:", ", ".join(sorted(SCALED_MOLECULES)))
@@ -310,7 +438,7 @@ def _run_list() -> int:
 
 
 def _obs_flags() -> argparse.ArgumentParser:
-    """Shared ``--trace`` / ``--metrics`` flags for every subcommand."""
+    """Shared observability flags for every subcommand."""
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument(
         "--trace",
@@ -326,11 +454,43 @@ def _obs_flags() -> argparse.ArgumentParser:
         help="write collected metrics: JSON, or Prometheus text"
         " exposition if PATH ends in .prom",
     )
+    parent.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute wall/CPU time to named pipeline phases; the phase"
+        " table is printed on exit (and lands in the run ledger)",
+    )
+    parent.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        default=None,
+        help="write a durable run directory (manifest.json, metrics.jsonl,"
+        " summary.json); render it later with 'repro report DIR'",
+    )
     return parent
+
+
+class _VersionAction(argparse.Action):
+    """``--version``: the provenance block's one-line form (lazy imports)."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.obs.manifest import provenance
+
+        pv = provenance()
+        print(
+            f"repro {pv['version']} (git {pv['git_sha'][:12]}, "
+            f"python {pv['python']}, numpy {pv['numpy']}, "
+            f"scipy {pv['scipy']})"
+        )
+        parser.exit(0)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action=_VersionAction, nargs=0,
+        help="print version, git SHA, and library versions, then exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     obs_flags = _obs_flags()
 
@@ -465,6 +625,74 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the outcome records as JSON",
     )
 
+    p_perf = sub.add_parser(
+        "perf",
+        help="phase/hotspot profiling and the perf-regression observatory "
+        "(see docs/PERFORMANCE.md)",
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+    pp_prof = perf_sub.add_parser(
+        "profile",
+        help="run a profiled RHF: phase wall/CPU table + cProfile hotspots",
+        parents=[obs_flags],
+    )
+    pp_prof.add_argument("molecule", nargs="?", default="water")
+    pp_prof.add_argument("--basis", default="6-31g")
+    pp_prof.add_argument("--max-iter", type=int, default=100)
+    pp_prof.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="hotspot rows to keep (by cumulative time)",
+    )
+    pp_prof.add_argument(
+        "--alloc", action="store_true",
+        help="attribute tracemalloc peak allocations to phases (slow)",
+    )
+    pp_check = perf_sub.add_parser(
+        "check",
+        help="grade the BENCH_*.json trajectories; exit 1 on FAIL",
+        parents=[obs_flags],
+    )
+    pp_check.add_argument(
+        "--history", action="append", metavar="PATH",
+        help="BENCH history file (repeatable; default: BENCH_eri.json "
+        "and BENCH_fock.json in the current directory)",
+    )
+    pp_check.add_argument(
+        "--quick", action="store_true",
+        help="grade only machine-independent metrics (ratios, error "
+        "bounds) -- for CI hardware that never wrote the history",
+    )
+    pp_check.add_argument(
+        "--last", type=int, default=8, metavar="K",
+        help="baseline window: median over the last K prior points",
+    )
+    pp_check.add_argument(
+        "--runs", default=None, metavar="DIR",
+        help="also grade completed run-ledger directories under DIR",
+    )
+    pp_check.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the findings as JSON",
+    )
+    pp_hist = perf_sub.add_parser(
+        "history",
+        help="print the tracked-metric trajectories",
+        parents=[obs_flags],
+    )
+    pp_hist.add_argument(
+        "--history", action="append", metavar="PATH",
+        help="BENCH history file (repeatable)",
+    )
+    pp_hist.add_argument(
+        "--points", type=int, default=6, metavar="N",
+        help="trajectory points to show per metric",
+    )
+
+    sub.add_parser(
+        "info",
+        help="print the provenance block (versions, git SHA, CPU count)",
+        parents=[obs_flags],
+    )
     sub.add_parser(
         "list", help="list built-in molecules and bases", parents=[obs_flags]
     )
@@ -493,21 +721,74 @@ def main(argv: list[str] | None = None) -> int:
     tracer = Tracer("repro") if args.trace else None
     prev_tracer = set_tracer(tracer) if tracer is not None else None
     prev_metrics = set_metrics(MetricsRegistry()) if args.metrics else None
+    profiler = None
+    prev_profiler = None
+    if getattr(args, "profile", False):
+        from repro.obs.profile import PhaseProfiler, set_profiler
+
+        profiler = PhaseProfiler()
+        prev_profiler = set_profiler(profiler)
+    ledger = None
+    prev_ledger = None
+    run_dir = getattr(args, "run_dir", None)
+    if run_dir:
+        from repro.obs.manifest import RunLedger, set_ledger
+
+        config = {
+            k: v for k, v in vars(args).items()
+            if k not in ("command", "trace", "metrics", "run_dir")
+            and v is not None
+        }
+        ledger = RunLedger(
+            run_dir,
+            command=args.command,
+            config=config,
+            molecule=getattr(args, "molecule", None),
+            basis=getattr(args, "basis", None),
+            seed=getattr(args, "seed", None),
+            argv=list(argv) if argv is not None else None,
+        )
+        prev_ledger = set_ledger(ledger)
+    rc = 1  # an escaping exception seals the ledger as a failed run
     try:
         if args.command == "scf":
-            return _run_scf(args)
-        if args.command == "ablation":
-            return _run_ablation(args)
-        if args.command == "report":
-            return _run_report(args)
-        if args.command == "chaos":
-            return _run_chaos(args)
-        if args.command == "torture":
-            return _run_torture(args)
-        if args.command == "list":
-            return _run_list()
-        return _run_experiment(args.command)
+            rc = _run_scf(args)
+        elif args.command == "ablation":
+            rc = _run_ablation(args)
+        elif args.command == "report":
+            rc = _run_report(args)
+        elif args.command == "chaos":
+            rc = _run_chaos(args)
+        elif args.command == "torture":
+            rc = _run_torture(args)
+        elif args.command == "perf":
+            rc = _run_perf(args)
+        elif args.command == "info":
+            rc = _run_info()
+        elif args.command == "list":
+            rc = _run_list()
+        else:
+            rc = _run_experiment(args.command)
+        return rc
     finally:
+        if profiler is not None:
+            from repro.obs.profile import set_profiler
+
+            set_profiler(prev_profiler)
+            profiler.export_metrics()
+            if profiler.stats:
+                print("phase profile:", file=sys.stderr)
+                print(profiler.table(), file=sys.stderr)
+            profiler.close()
+        if ledger is not None:
+            from repro.obs.manifest import set_ledger
+
+            # attach before close: the summary carries the phase table
+            if profiler is not None and profiler.stats:
+                ledger.attach_profile(profiler)
+            ledger.close(rc)
+            set_ledger(prev_ledger)
+            print(f"run ledger written to {run_dir}", file=sys.stderr)
         if tracer is not None:
             set_tracer(prev_tracer)
             tracer.write(args.trace)

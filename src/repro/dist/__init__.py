@@ -1,0 +1,35 @@
+"""Distributed linear algebra on the simulated runtime (Sec IV-E).
+
+SUMMA matrix multiplication and canonical purification on the same 2-D
+blocked :class:`~repro.runtime.ga.GlobalArray` layout the Fock build
+uses, plus the whole-HF-iteration time model (Table IX) including the
+dense-diagonalization alternative purification replaces.
+"""
+
+from repro.dist.hf_iteration import (
+    HFIterationBreakdown,
+    diagonalization_time_model,
+    hf_iteration_breakdown,
+)
+from repro.dist.purification_dist import (
+    DistributedPurificationResult,
+    purification_time_model,
+    purify_distributed,
+)
+from repro.dist.summa import (
+    distributed_trace,
+    summa_multiply,
+    summa_time_model,
+)
+
+__all__ = [
+    "DistributedPurificationResult",
+    "HFIterationBreakdown",
+    "diagonalization_time_model",
+    "distributed_trace",
+    "hf_iteration_breakdown",
+    "purification_time_model",
+    "purify_distributed",
+    "summa_multiply",
+    "summa_time_model",
+]

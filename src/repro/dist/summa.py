@@ -1,0 +1,132 @@
+"""SUMMA matrix multiplication on the simulated Global Arrays runtime.
+
+The paper replaces diagonalization with canonical purification precisely
+because purification is built from matrix multiplies and traces, and
+SUMMA [van de Geijn & Watts 1997] runs those on *exactly* the 2-D
+blocked distribution the Fock build already uses (Sec IV-E, Table IX) --
+no redistribution between the Fock step and the density step.
+
+Two faces, mirroring the rest of the repo:
+
+* :func:`summa_multiply` / :func:`distributed_trace` -- **numeric**
+  execution on :class:`~repro.runtime.ga.GlobalArray`: every panel
+  fetch is a one-sided GA access charged per owner to the caller's
+  virtual clock, every local GEMM is charged as compute, and the result
+  equals the NumPy product.
+* :func:`summa_time_model` -- the **cost model** used at paper scale
+  (C150H30: nbf = 2250, up to 324 nodes), where running the numeric
+  path would be pointless: per-process flops at the sustained DGEMM
+  rate plus the alpha-beta cost of the panel broadcasts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.obs.flight import CH_ALLREDUCE, CH_BROADCAST
+from repro.runtime.ga import GlobalArray
+from repro.runtime.machine import MachineConfig
+from repro.runtime.network import CommStats
+
+#: Sustained seconds/flop of the node-local DGEMM (one GTFock process =
+#: one 12-core node running threaded BLAS; ~50 Gflop/s sustained, a
+#: realistic fraction of Lonestar's ~134 Gflop/s node peak).
+DGEMM_SECONDS_PER_FLOP = 2.0e-11
+
+
+def summa_multiply(
+    a: GlobalArray,
+    b: GlobalArray,
+    stats: CommStats,
+    config: MachineConfig,
+) -> GlobalArray:
+    """C = A @ B with SUMMA on the simulated runtime.
+
+    The result is distributed on ``a``'s row partition x ``b``'s column
+    partition.  Each process sweeps the k-dimension in panels (``a``'s
+    column partition); per stage it fetches its slice of the A-panel and
+    B-panel -- the simulated counterpart of the SUMMA row/column
+    broadcasts, charged per owning process -- and accumulates one local
+    GEMM, charged at the sustained DGEMM rate.
+    """
+    if a.cols != b.rows:
+        raise ValueError(
+            f"inner dimensions differ: A is {a.rows}x{a.cols}, "
+            f"B is {b.rows}x{b.cols}"
+        )
+    c = GlobalArray(stats, a.rows, b.cols, a.row_bounds, b.col_bounds)
+    if c.nproc > stats.nproc:
+        raise ValueError(
+            f"result grid needs {c.nproc} processes, run has {stats.nproc}"
+        )
+    panels = a.col_bounds
+    for proc in range(c.nproc):
+        rs, cs = c.local_slice(proc)
+        block = np.zeros((rs.stop - rs.start, cs.stop - cs.start))
+        for s in range(len(panels) - 1):
+            k0, k1 = int(panels[s]), int(panels[s + 1])
+            a_panel = a.get(
+                proc, rs.start, rs.stop, k0, k1, channel=CH_BROADCAST
+            )
+            b_panel = b.get(
+                proc, k0, k1, cs.start, cs.stop, channel=CH_BROADCAST
+            )
+            block += a_panel @ b_panel
+            flops = 2.0 * block.shape[0] * (k1 - k0) * block.shape[1]
+            stats.charge_compute(proc, flops * DGEMM_SECONDS_PER_FLOP)
+        c.put(proc, rs.start, cs.start, block)
+    return c
+
+
+def distributed_trace(
+    ga: GlobalArray, stats: CommStats, config: MachineConfig
+) -> float:
+    """tr(A) of a distributed square matrix, with allreduce accounting.
+
+    Every diagonal element lives in exactly one owner block, so each
+    process sums its local diagonal run (free of communication) and the
+    scalar contributions meet in a log-depth allreduce.
+    """
+    if ga.rows != ga.cols:
+        raise ValueError(f"trace needs a square matrix, got {ga.rows}x{ga.cols}")
+    hops = max(1, math.ceil(math.log2(max(ga.nproc, 2))))
+    total = 0.0
+    for proc in range(ga.nproc):
+        rs, cs = ga.local_slice(proc)
+        lo, hi = max(rs.start, cs.start), min(rs.stop, cs.stop)
+        if hi > lo:
+            total += float(np.trace(ga.data[lo:hi, lo:hi]))
+            stats.charge_compute(
+                proc, (hi - lo) * DGEMM_SECONDS_PER_FLOP
+            )
+        stats.charge_comm(
+            proc,
+            config.element_size,
+            ncalls=hops,
+            remote=ga.nproc > 1,
+            channel=CH_ALLREDUCE,
+        )
+    return total
+
+
+def summa_time_model(n: int, nproc: int, config: MachineConfig) -> float:
+    """Modeled wall time of one n x n SUMMA multiply on ``nproc`` processes.
+
+    Per-process compute is ``2 n^3 / p`` flops at the sustained DGEMM
+    rate; communication is the standard SUMMA volume -- over all stages
+    each process receives one full block-row of A and block-column of B,
+    ``2 n^2 / sqrt(p)`` elements in ``2 sqrt(p)`` panel broadcasts --
+    priced with the machine's alpha-beta cost.
+    """
+    if n < 1:
+        raise ValueError(f"matrix dimension must be >= 1, got {n}")
+    if nproc < 1:
+        raise ValueError(f"nproc must be >= 1, got {nproc}")
+    t = 2.0 * n**3 / nproc * DGEMM_SECONDS_PER_FLOP
+    if nproc > 1:
+        sp = math.sqrt(nproc)
+        nbytes = 2.0 * n * n * config.element_size / sp
+        t += config.transfer_time(nbytes, ncalls=2 * math.ceil(sp))
+    return t

@@ -28,6 +28,7 @@ from repro.fock.prefetch import block_footprint, ga_calls_for_footprint
 from repro.fock.screening_map import ScreeningMap
 from repro.fock.stealing import run_work_stealing
 from repro.obs.flight import CH_FOCK_ACC, CH_PREFETCH_GET, CH_TASK_GET
+from repro.obs.profile import PHASE_SIM_LOOP, get_profiler
 from repro.runtime.faults import FaultPlan, FaultState
 from repro.runtime.machine import LONESTAR, MachineConfig
 from repro.runtime.network import CommStats
@@ -186,16 +187,17 @@ def simulate_gtfock(
         codes = (rows[:, None] * ns + cols[None, :]).ravel()
         queues.append(codes.tolist())
 
-    outcome = run_work_stealing(
-        queues,
-        cost_of,
-        (part.prow, part.pcol),
-        stats=stats,
-        steal_cost=steal_cost,
-        enable_stealing=enable_stealing,
-        faults=fstate,
-        rng=fstate.rng if fstate is not None else None,
-    )
+    with get_profiler().phase(PHASE_SIM_LOOP):
+        outcome = run_work_stealing(
+            queues,
+            cost_of,
+            (part.prow, part.pcol),
+            stats=stats,
+            steal_cost=steal_cost,
+            enable_stealing=enable_stealing,
+            faults=fstate,
+            rng=fstate.rng if fstate is not None else None,
+        )
 
     # -- final flush of the F buffers ----------------------------------------
     finish = outcome.finish_time.copy()
@@ -265,9 +267,10 @@ def simulate_nwchem(
                 proc, nbytes, ncalls=ncalls, remote=True, channel=CH_TASK_GET
             )
 
-    outcome = run_centralized(
-        list(range(arrays.ntasks)), nproc, stats, cost_of, comm_of=comm_of
-    )
+    with get_profiler().phase(PHASE_SIM_LOOP):
+        outcome = run_centralized(
+            list(range(arrays.ntasks)), nproc, stats, cost_of, comm_of=comm_of
+        )
     return _finalize(
         "nwchem",
         molecule_name or (basis.molecule.name or basis.molecule.formula),

@@ -248,7 +248,10 @@ class ERIEngine(abc.ABC):
     def schwarz(self) -> np.ndarray:
         """Shell-pair screening values sigma(M,N), cached."""
         if self._schwarz is None:
-            self._schwarz = self._build_schwarz()
+            from repro.obs.profile import PHASE_SCHWARZ, get_profiler
+
+            with get_profiler().phase(PHASE_SCHWARZ):
+                self._schwarz = self._build_schwarz()
         return self._schwarz
 
 

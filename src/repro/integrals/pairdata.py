@@ -142,8 +142,11 @@ class ShellPairData:
         key = (i, j)
         data = self._pairs.get(key)
         if data is None:
-            shells = self.basis.shells
-            data = build_pair_data(shells[i], shells[j])
+            from repro.obs.profile import PHASE_PAIRDATA, get_profiler
+
+            with get_profiler().phase(PHASE_PAIRDATA):
+                shells = self.basis.shells
+                data = build_pair_data(shells[i], shells[j])
             self._pairs[key] = data
             self.pairs_built += 1
         return data

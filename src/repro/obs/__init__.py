@@ -13,7 +13,15 @@ Tables VI-VIII and Figure 2 are all observability artifacts.  Two parts:
   :class:`FlightRecorder` every :class:`CommStats` charge flows through;
 * :mod:`repro.obs.validate` / :mod:`repro.obs.report` -- Sec III-G
   model-vs-measured validation and the self-contained HTML run report
-  (``repro report``).
+  (``repro report``);
+* :mod:`repro.obs.profile` -- :class:`PhaseProfiler` attributing wall /
+  CPU / peak-allocation cost to named pipeline phases, plus the opt-in
+  cProfile hotspot capture (``repro perf profile``);
+* :mod:`repro.obs.manifest` -- the :class:`RunLedger` writing durable
+  run directories (``manifest.json`` / ``metrics.jsonl`` /
+  ``summary.json``) and the loader behind ``repro report <rundir>``;
+* :mod:`repro.obs.regress` -- the regression observatory grading the
+  BENCH_*.json perf trajectories (``repro perf check``).
 
 Both default to process-wide singletons (:func:`get_tracer` /
 :func:`get_metrics`); the default tracer is a no-op so instrumented code
@@ -36,6 +44,23 @@ from repro.obs.metrics import (
     export_commstats,
     get_metrics,
     set_metrics,
+)
+from repro.obs.manifest import (
+    LedgerError,
+    NullLedger,
+    RunLedger,
+    RunRecord,
+    get_ledger,
+    load_run,
+    provenance,
+    set_ledger,
+)
+from repro.obs.profile import (
+    NullProfiler,
+    PhaseProfiler,
+    get_profiler,
+    profiling,
+    set_profiler,
 )
 from repro.obs.trace import (
     HOST_PID,
@@ -61,6 +86,19 @@ __all__ = [
     "export_commstats",
     "get_metrics",
     "set_metrics",
+    "LedgerError",
+    "NullLedger",
+    "RunLedger",
+    "RunRecord",
+    "get_ledger",
+    "load_run",
+    "provenance",
+    "set_ledger",
+    "NullProfiler",
+    "PhaseProfiler",
+    "get_profiler",
+    "profiling",
+    "set_profiler",
     "HOST_PID",
     "NULL_TRACER",
     "SIM_PID",

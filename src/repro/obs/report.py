@@ -36,6 +36,7 @@ from typing import Any
 import numpy as np
 
 from repro.obs.flight import FlightRecorder
+from repro.obs.profile import get_profiler
 from repro.obs.validate import FAIL, PASS, WARN, ModelValidation
 
 # -- palette (see docs: reference data-viz palette) --------------------------
@@ -424,6 +425,135 @@ def validation_table_html(v: ModelValidation) -> str:
     )
 
 
+# -- phase profile & hotspots ------------------------------------------------
+
+
+def phase_bars_svg(phases: list[dict]) -> str:
+    """Horizontal wall/CPU bars per profiled phase (sorted by wall)."""
+    if not phases:
+        return ""
+    left, right, row_h, bar_h = 150, 70, 34, 9
+    plot_w = 520
+    width = left + plot_w + right
+    height = 18 + len(phases) * row_h + 8
+    vmax = max(max(p["wall_s"] for p in phases), 1e-12)
+    out = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" '
+        f'aria-label="wall and CPU time per phase">'
+    ]
+    for i, p in enumerate(phases):
+        y = 18 + i * row_h
+        name = p["name"]
+        wall, cpu = float(p["wall_s"]), float(p["cpu_s"])
+        w_wall = (wall / vmax) * plot_w
+        w_cpu = (cpu / vmax) * plot_w
+        out.append(
+            f'<text class="axis-label" x="{left - 8}" y="{y + 12}" '
+            f'text-anchor="end">{_esc(name)}</text>'
+        )
+        out.append(
+            f'<rect class="mark" x="{left}" y="{y}" '
+            f'width="{max(w_wall, 0.5):.1f}" height="{bar_h}" rx="2" '
+            f'fill="var(--series-1)"><title>{_esc(name)} wall: '
+            f"{wall:.4f} s over {p['calls']} calls</title></rect>"
+        )
+        out.append(
+            f'<rect class="mark" x="{left}" y="{y + bar_h + 2}" '
+            f'width="{max(w_cpu, 0.5):.1f}" height="{bar_h}" rx="2" '
+            f'fill="var(--series-2)"><title>{_esc(name)} CPU: '
+            f"{cpu:.4f} s</title></rect>"
+        )
+        out.append(
+            f'<text class="axis-label" '
+            f'x="{left + max(w_wall, w_cpu) + 6:.1f}" y="{y + 14}">'
+            f"{wall:.3g}s</text>"
+        )
+    out.append("</svg>")
+    return "".join(out)
+
+
+def phase_table_html(phases: list[dict]) -> str:
+    rows = []
+    for p in phases:
+        alloc = p.get("alloc_peak_bytes", 0)
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(p['name'])}</td>"
+            f"<td>{p['calls']}</td>"
+            f"<td>{p['wall_s']:.4f}</td>"
+            f"<td>{p['cpu_s']:.4f}</td>"
+            f"<td>{p['max_wall_s']:.4f}</td>"
+            f"<td>{_fmt_bytes(alloc) if alloc else '&mdash;'}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>phase</th><th>calls</th><th>wall (s)</th>"
+        "<th>CPU (s)</th><th>max (s)</th><th>peak alloc</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def hotspot_table_html(hotspots: dict) -> str:
+    """The cProfile top-N table (``HotspotProfile.to_json()`` shape)."""
+    rows = []
+    for h in hotspots.get("hotspots", []):
+        where = h["func"] if h["file"] in ("~", "") else (
+            f"{h['file']}:{h['line']}:{h['func']}"
+        )
+        rows.append(
+            "<tr>"
+            f"<td><code>{_esc(where)}</code></td>"
+            f"<td>{h['ncalls']}</td>"
+            f"<td>{h['tottime']:.4f}</td>"
+            f"<td>{h['cumtime']:.4f}</td>"
+            "</tr>"
+        )
+    head = (
+        f"{hotspots.get('total_calls', 0)} calls, "
+        f"{hotspots.get('total_time', 0.0):.3f} s under cProfile"
+    )
+    return (
+        f'<p class="caption">{_esc(head)} (sorted by cumulative '
+        "time).</p>"
+        "<table><thead><tr><th>location</th><th>calls</th>"
+        "<th>self (s)</th><th>cumulative (s)</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def phase_section_html(
+    phases: list[dict], hotspots: dict | None = None
+) -> str:
+    """The "Phase profile" report section (bars + table + hotspots)."""
+    if not phases and not hotspots:
+        return ""
+    parts = [
+        "<h2>Phase profile</h2>",
+        '<p class="caption">Inclusive wall and CPU time attributed to the '
+        "named pipeline phases (taxonomy: docs/OBSERVABILITY.md). Nested "
+        "phases count toward their parents.</p>",
+    ]
+    if phases:
+        parts.append(
+            '<div class="legend">'
+            '<span><i class="sw" style="background: var(--series-1)"></i>'
+            "wall</span>"
+            '<span><i class="sw" style="background: var(--series-2)"></i>'
+            "CPU</span></div>"
+        )
+        parts.append(phase_bars_svg(phases))
+        parts.append(
+            "<details><summary>table view</summary>"
+            + phase_table_html(phases)
+            + "</details>"
+        )
+    if hotspots:
+        parts.append("<h2>Hotspots</h2>")
+        parts.append(hotspot_table_html(hotspots))
+    return "".join(parts)
+
+
 # -- the report --------------------------------------------------------------
 
 
@@ -452,6 +582,11 @@ class RunReport:
     #: SCF convergence-guard summary (guarded SCF runs only):
     #: :meth:`repro.scf.guard.SCFGuard.summary` plus a ``trail`` list
     scf_guard: dict | None = None
+    #: phase-profiler stats (``PhaseProfiler.to_json()``) when a profiler
+    #: was installed (``--profile``); None otherwise
+    phases: list[dict] | None = None
+    #: cProfile top-N (``HotspotProfile.to_json()``); None unless captured
+    hotspots: dict | None = None
 
     @property
     def load_balance(self) -> float:
@@ -545,6 +680,14 @@ def render_report(r: RunReport) -> str:
             "<section>" + scf_guard_section_html(r.scf_guard) + "</section>"
         )
 
+    phases_html = ""
+    if r.phases or r.hotspots:
+        phases_html = (
+            "<section>"
+            + phase_section_html(r.phases or [], r.hotspots)
+            + "</section>"
+        )
+
     ops_chans = [c for c in chans if np.any(r.flight.per_rank(c, "ops"))]
     ops_html = ""
     if ops_chans:
@@ -631,6 +774,8 @@ measurements; a metric warns/fails when measured/model (folded to
 {recovery_html}
 
 {guard_html}
+
+{phases_html}
 
 {ops_html and f'<section>{ops_html}</section>'}
 
@@ -888,6 +1033,11 @@ def run_report(
     model = PerfModel.from_screening(result.screen, config, s=s_measured)
     validation = validate_run(model, stats, s_measured=s_measured)
 
+    # a --profile profiler installed around this call shows up as the
+    # report's "Phase profile" section
+    profiler = get_profiler()
+    phases = profiler.to_json() if profiler.enabled and profiler.stats else None
+
     title = f"{mol.name or mol.formula}-{basis_name}-p{nproc}"
     report = RunReport(
         title=title,
@@ -909,6 +1059,7 @@ def run_report(
             "see docs/OBSERVABILITY.md for the threshold table",
         ],
         scf_guard=guard_summary,
+        phases=phases,
     )
     return report, result
 
@@ -967,3 +1118,140 @@ def chaos_report(cres: Any, trace: dict | None = None) -> RunReport:
 def write_report(path: str, report: RunReport) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(render_report(report))
+
+
+# -- run-ledger report -------------------------------------------------------
+
+
+def _scf_trajectory_html(snapshots: list[dict]) -> str:
+    """Convergence table from the ledger's ``scf_iteration`` snapshots."""
+    iters = [s for s in snapshots if s.get("label") == "scf_iteration"]
+    if not iters:
+        return ""
+    rows = []
+    prev_e = None
+    for s in iters:
+        e = s.get("energy")
+        de = "&mdash;"
+        if e is not None and prev_e is not None:
+            de = f"{e - prev_e:+.3e}"
+        prev_e = e
+        d_change = s.get("d_change")
+        e_cell = f"{e:.10f}" if e is not None else "&mdash;"
+        d_cell = f"{d_change:.3e}" if d_change is not None else "&mdash;"
+        rows.append(
+            "<tr>"
+            f"<td>{s.get('iteration', '&mdash;')}</td>"
+            f"<td>{e_cell}</td>"
+            f"<td>{de}</td>"
+            f"<td>{d_cell}</td>"
+            f"<td>{s.get('wall_s', 0.0):.3f}</td>"
+            "</tr>"
+        )
+    return (
+        "<h2>SCF trajectory</h2>"
+        '<p class="caption">One ledger snapshot per SCF iteration '
+        "(streamed to <code>metrics.jsonl</code> as the run executed).</p>"
+        "<table><thead><tr><th>iter</th><th>energy (Ha)</th>"
+        "<th>&Delta;E</th><th>max |&Delta;D|</th><th>wall (s)</th>"
+        f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def render_ledger_report(record: Any) -> str:
+    """Render a persisted run directory (:class:`RunRecord`) as HTML.
+
+    After-the-fact counterpart of :func:`render_report`: everything on
+    the page comes from the ledger artifacts (``manifest.json`` /
+    ``metrics.jsonl`` / ``summary.json``), so ``repro report <rundir>``
+    works long after the process that wrote them exited.
+    """
+    manifest = record.manifest
+    summary = record.summary or {}
+    prov = manifest.get("provenance", {})
+    exit_code = summary.get("exit_code")
+    ok = exit_code == 0
+
+    tiles = [
+        (str(manifest.get("command", "?")), "command"),
+        (str(summary.get("molecule", manifest.get("molecule") or "&mdash;")),
+         "molecule"),
+        (str(summary.get("basis", manifest.get("basis") or "&mdash;")),
+         "basis"),
+        (f"{summary.get('wall_s', 0.0):.3g} s", "wall time"),
+        (str(len(record.snapshots)), "snapshots"),
+    ]
+    if "energy" in summary:
+        tiles.append((f"{summary['energy']:.8f}", "energy (Ha)"))
+    if "iterations" in summary:
+        tiles.append((str(summary["iterations"]), "SCF iterations"))
+    tiles_html = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="l">{_esc(label)}</div></div>'
+        for v, label in tiles
+    )
+
+    prov_rows = "".join(
+        f"<tr><td>{_esc(k)}</td><td><code>{_esc(v)}</code></td></tr>"
+        for k, v in prov.items()
+    )
+    config = manifest.get("config", {})
+    config_rows = "".join(
+        f"<tr><td>{_esc(k)}</td><td><code>{_esc(v)}</code></td></tr>"
+        for k, v in sorted(config.items())
+    )
+    phases = record.phases or []
+    hotspots = record.hotspots
+    profile_html = ""
+    if phases or hotspots:
+        profile_html = (
+            "<section>" + phase_section_html(phases, hotspots) + "</section>"
+        )
+    traj_html = _scf_trajectory_html(record.snapshots)
+    if traj_html:
+        traj_html = f"<section>{traj_html}</section>"
+
+    exit_badge = (
+        _badge(PASS if ok else FAIL)
+        if exit_code is not None
+        else '<span class="badge">&#9202; no summary (run interrupted?)</span>'
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(record.title)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<main>
+<h1>Run ledger: {_esc(record.title)}</h1>
+<p class="subtitle">started {_esc(manifest.get('started_utc', '?'))},
+finished {_esc(summary.get('finished_utc', '&mdash;'))} &mdash;
+exit code {exit_code if exit_code is not None else '&mdash;'}
+{exit_badge}</p>
+<div class="tiles">{tiles_html}</div>
+
+<section>
+<h2>Provenance</h2>
+<p class="caption">Recorded in <code>manifest.json</code> when the run
+started; config hash <code>{_esc(manifest.get('config_hash', '?'))}</code>
+is the SHA-256 of the canonicalized config below.</p>
+<table><thead><tr><th>field</th><th>value</th></tr></thead>
+<tbody>{prov_rows}</tbody></table>
+<details><summary>resolved config ({len(config)} keys)</summary>
+<table><thead><tr><th>key</th><th>value</th></tr></thead>
+<tbody>{config_rows}</tbody></table></details>
+</section>
+
+{traj_html}
+
+{profile_html}
+
+<footer>self-contained report rendered from the run ledger at
+<code>{_esc(record.path)}</code> (see docs/OBSERVABILITY.md)</footer>
+</main>
+</body>
+</html>
+"""

@@ -160,6 +160,22 @@ class Tracer:
                        self._now(), 0.0, args)
         )
 
+    def host_span_at(
+        self, name: str, start: float, end: float, cat: str = "host", **args
+    ) -> None:
+        """Record a completed host span from ``time.perf_counter()`` stamps.
+
+        For instrumentation that measures its own timing (the phase
+        profiler) and only reports the span after the fact; ``start`` and
+        ``end`` are absolute ``perf_counter`` values.
+        """
+        self._append(
+            TraceEvent(
+                "X", name, cat, HOST_PID, self._host_tid(),
+                start - self._epoch, max(end - start, 0.0), args,
+            )
+        )
+
     # -- virtual (simulated-clock) probes -----------------------------------
 
     def virtual_span(
@@ -272,6 +288,9 @@ class NullTracer(Tracer):
         return _NULL_SPAN
 
     def instant(self, name: str, cat: str = "host", **args) -> None:
+        pass
+
+    def host_span_at(self, name, start, end, cat="host", **args) -> None:
         pass
 
     def virtual_span(self, name, proc, start, end, cat="sim", **args) -> None:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
 from repro.integrals.engine import ERIEngine
+from repro.obs.profile import PHASE_ERI, PHASE_JK, get_profiler
 from repro.util.validation import check_symmetric
 
 #: The 8 axis permutations of an (ab|cd) block, as (shell-index permutation).
@@ -124,9 +125,16 @@ def build_jk(
     j = np.zeros((n, n))
     k = np.zeros((n, n))
     sigma = engine.schwarz()
+    # spans are hoisted out of the loop: this is the repo's hottest path
+    # and the probes are gated at <= 5% overhead when profiling is on
+    prof = get_profiler()
+    eri_span = prof.phase(PHASE_ERI)
+    jk_span = prof.phase(PHASE_JK)
     for quartet in canonical_shell_quartets(sigma, tau):
-        block = engine.quartet(*quartet)
-        scatter_quartet(j, k, density, basis, quartet, block)
+        with eri_span:
+            block = engine.quartet(*quartet)
+        with jk_span:
+            scatter_quartet(j, k, density, basis, quartet, block)
     return j, k
 
 

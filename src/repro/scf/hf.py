@@ -18,6 +18,14 @@ from repro.chem.molecule import Molecule
 from repro.integrals.engine import ERIEngine, MDEngine
 from repro.integrals.oneelec import core_hamiltonian, overlap
 from repro.obs import get_metrics, get_tracer
+from repro.obs.manifest import get_ledger
+from repro.obs.profile import (
+    PHASE_DIAG,
+    PHASE_DIIS,
+    PHASE_FOCK,
+    PHASE_PURIFY,
+    get_profiler,
+)
 from repro.runtime.faults import SCFFaultPlan
 from repro.scf.checkpoint import load_latest_intact, save_checkpoint
 from repro.scf.diis import DIIS
@@ -165,6 +173,8 @@ class RHF:
         """
         tracer = get_tracer()
         metrics = get_metrics()
+        prof = get_profiler()
+        ledger = get_ledger()
         mol_label = self.molecule.name or self.molecule.formula
         g_energy = metrics.gauge(
             "repro_scf_energy_hartree", "current total SCF energy",
@@ -250,7 +260,8 @@ class RHF:
             with tracer.span(
                 "scf_iteration", cat="scf", molecule=mol_label, iteration=it
             ) as sp:
-                with tracer.span("fock_build", cat="scf"):
+                with tracer.span("fock_build", cat="scf"), \
+                        prof.phase(PHASE_FOCK):
                     f = build_fock(d)
                 if fault_state is not None:
                     f = fault_state.corrupt_matrix(f, it, "fock")
@@ -284,14 +295,20 @@ class RHF:
                 if diis is not None:
                     if guard is not None and guard.consume_diis_reset():
                         diis.reset()
-                    with tracer.span("diis", cat="scf"):
+                    with tracer.span("diis", cat="scf"), \
+                            prof.phase(PHASE_DIIS):
                         err = DIIS.error_vector(f, d, s, x)
                         diis.push(f, err)
                         f_eff = diis.extrapolate()
                 else:
                     f_eff = f
                 shift = guard.level_shift if guard is not None else 0.0
-                with tracer.span(self.density_method, cat="scf"):
+                density_phase = (
+                    PHASE_DIAG if self.density_method == "diagonalize"
+                    else PHASE_PURIFY
+                )
+                with tracer.span(self.density_method, cat="scf"), \
+                        prof.phase(density_phase):
                     if self.density_method == "diagonalize":
                         if shift:
                             d_new, eps, coeffs = density_from_fock(
@@ -336,6 +353,10 @@ class RHF:
                 g_dd.set(d_change, molecule=mol_label)
                 if np.isfinite(e_change):
                     g_de.set(float(e_change), molecule=mol_label)
+                ledger.snapshot(
+                    "scf_iteration", iteration=it,
+                    energy=e_elec + enuc, d_change=d_change,
+                )
                 if guard is not None and not discarded:
                     guard.observe(it, e_elec + enuc, d_change)
                     thr = guard.consume_canonical_orth()
@@ -363,9 +384,14 @@ class RHF:
                 break
 
         # final energy with the converged density
-        with tracer.span("final_fock_build", cat="scf", molecule=mol_label):
+        with tracer.span("final_fock_build", cat="scf", molecule=mol_label), \
+                prof.phase(PHASE_FOCK):
             f = fock_matrix(self.engine, h, d, self.tau)
         e_elec = hf_electronic_energy(h, f, d)
+        ledger.add_summary(
+            molecule=mol_label, basis=self.basis_name,
+            energy=e_elec + enuc, converged=converged, iterations=it,
+        )
         metrics.gauge(
             "repro_scf_converged", "1 if the last SCF run converged",
             labelnames=("molecule",),

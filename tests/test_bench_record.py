@@ -1,0 +1,83 @@
+"""Shared BENCH history recording: schema validation and UTC stamping."""
+
+import json
+
+import pytest
+
+from repro.bench.record import SCHEMAS, append_history, validate_entry
+
+
+def _guard_entry(**over):
+    entry = {
+        "benchmark": "scf_guard",
+        "wall_off_s": 1.0,
+        "wall_on_s": 1.02,
+        "overhead": 0.02,
+        "energy_matches": True,
+    }
+    entry.update(over)
+    return entry
+
+
+class TestValidateEntry:
+    def test_valid_entry_passes(self):
+        validate_entry(_guard_entry())
+
+    def test_missing_benchmark_name(self):
+        with pytest.raises(ValueError, match="benchmark"):
+            validate_entry({"wall_s": 1.0})
+
+    def test_missing_field_is_named(self):
+        entry = _guard_entry()
+        del entry["overhead"]
+        with pytest.raises(ValueError, match="'overhead'"):
+            validate_entry(entry)
+
+    def test_mistyped_field_is_named(self):
+        with pytest.raises(ValueError, match="'wall_on_s'"):
+            validate_entry(_guard_entry(wall_on_s="fast"))
+
+    def test_bool_is_not_a_float(self):
+        with pytest.raises(ValueError, match="'overhead'"):
+            validate_entry(_guard_entry(overhead=True))
+
+    def test_int_is_an_acceptable_float(self):
+        validate_entry(_guard_entry(overhead=0))
+
+    def test_unknown_family_needs_only_a_name(self):
+        validate_entry({"benchmark": "brand_new_family", "whatever": 1})
+
+    def test_every_schema_family_requires_floats_not_bools(self):
+        # guard against accidentally declaring a bool field as float
+        for family, schema in SCHEMAS.items():
+            for key, expected in schema.items():
+                assert expected in (str, float, bool, dict), (family, key)
+
+
+class TestAppendHistory:
+    def test_creates_file_and_stamps_utc(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        written = append_history(_guard_entry(), path, description="test hist")
+        assert written["timestamp"].endswith("+00:00")
+        doc = json.loads(path.read_text())
+        assert doc["description"] == "test hist"
+        assert len(doc["history"]) == 1
+        assert doc["history"][0]["timestamp"] == written["timestamp"]
+
+    def test_appends_preserving_existing_entries(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        append_history(_guard_entry(), path)
+        append_history(_guard_entry(overhead=0.03), path)
+        doc = json.loads(path.read_text())
+        assert [e["overhead"] for e in doc["history"]] == [0.02, 0.03]
+
+    def test_invalid_entry_writes_nothing(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        with pytest.raises(ValueError):
+            append_history({"benchmark": "scf_guard"}, path)
+        assert not path.exists()
+
+    def test_input_entry_is_not_mutated(self, tmp_path):
+        entry = _guard_entry()
+        append_history(entry, tmp_path / "BENCH_test.json")
+        assert "timestamp" not in entry

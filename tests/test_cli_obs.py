@@ -110,3 +110,126 @@ class TestExperimentObsFlags:
         out = capsys.readouterr().out
         # satellite: the steal share surfaces in Table VI output
         assert "of it steal MB" in out
+
+
+class TestVersionAndInfo:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert "numpy" in out
+
+    def test_info_command(self, capsys):
+        rc = main(["info"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for key in ("package", "git_sha", "python", "numpy", "cpu_count"):
+            assert key in out
+
+
+class TestRunLedgerCli:
+    @pytest.fixture(scope="class")
+    def ledger_run(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("ledger")
+        rundir = tmp / "run"
+        rc = main([
+            "scf", "water", "--basis", "sto-3g",
+            "--profile", "--run-dir", str(rundir),
+        ])
+        return rc, rundir
+
+    def test_run_directory_is_complete(self, ledger_run):
+        rc, rundir = ledger_run
+        assert rc == 0
+        for name in ("manifest.json", "metrics.jsonl", "summary.json"):
+            assert (rundir / name).exists(), name
+        manifest = json.loads((rundir / "manifest.json").read_text())
+        assert manifest["command"] == "scf"
+        assert manifest["config_hash"].startswith("sha256:")
+        summary = json.loads((rundir / "summary.json").read_text())
+        assert summary["exit_code"] == 0
+        assert summary["converged"]
+        assert summary["phases"], "profiled run must persist phase stats"
+
+    def test_report_renders_from_rundir(self, ledger_run, tmp_path):
+        _, rundir = ledger_run
+        out = tmp_path / "ledger.html"
+        rc = main(["report", str(rundir), "--out", str(out)])
+        assert rc == 0
+        html = out.read_text()
+        assert html.lstrip().lower().startswith("<!doctype html>")
+        for needle in (
+            "Run ledger:", "Provenance", "SCF trajectory",
+            "Phase profile", "fock_build",
+        ):
+            assert needle in html
+
+    def test_report_missing_rundir_names_the_problem(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "nope"), "--out",
+                   str(tmp_path / "x.html")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "repro report:" in err
+        assert "does not exist" in err
+
+    def test_report_missing_artifact_named(self, tmp_path, capsys):
+        rundir = tmp_path / "partial"
+        rundir.mkdir()
+        (rundir / "manifest.json").write_text("{}")
+        rc = main(["report", str(rundir), "--out", str(tmp_path / "x.html")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        # field-named error, not a traceback
+        assert "manifest.json" in err or "schema" in err
+
+
+class TestPerfCommands:
+    def test_perf_check_passes_on_committed_histories(self, capsys):
+        rc = main(["perf", "check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "observatory:" in out
+
+    def test_perf_check_fails_on_injected_regression(self, tmp_path, capsys):
+        # copy the committed ERI history and append a synthetic 10x
+        # slowdown in a quick (machine-independent) metric
+        doc = json.loads(open("BENCH_eri.json").read())
+        entry = dict(doc["history"][-1])
+        entry["batched_speedup"] = entry["batched_speedup"] / 10.0
+        doc["history"].append(entry)
+        bad = tmp_path / "BENCH_eri.json"
+        bad.write_text(json.dumps(doc))
+        rc = main(["perf", "check", "--history", str(bad), "--quick"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "fail" in out
+
+    def test_perf_check_json_output(self, tmp_path):
+        out = tmp_path / "check.json"
+        rc = main(["perf", "check", "--json", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["status"] in ("pass", "warn")
+        assert isinstance(doc["findings"], list)
+
+    def test_perf_history_renders_trajectories(self, capsys):
+        rc = main(["perf", "history"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "eri_kernels.batched_speedup" in out
+
+    def test_perf_profile_quick(self, tmp_path, capsys):
+        rundir = tmp_path / "prof"
+        rc = main([
+            "perf", "profile", "water", "--basis", "sto-3g",
+            "--top", "5", "--run-dir", str(rundir),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wall [s]" in out  # the phase table header
+        assert "hotspots:" in out
+        summary = json.loads((rundir / "summary.json").read_text())
+        assert summary["phases"]
+        assert summary["hotspots"]["hotspots"]

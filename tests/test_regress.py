@@ -1,0 +1,218 @@
+"""Regression observatory: robust baselines and the PASS/WARN/FAIL grader."""
+
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_SPECS,
+    CheckReport,
+    MetricSpec,
+    extract,
+    grade,
+    grade_series,
+    history_text,
+    load_history,
+    robust_baseline,
+    series_for,
+)
+from repro.obs.validate import FAIL, PASS, WARN
+
+
+def _spec(**kw):
+    base = dict(benchmark="bench", key="t", direction="lower",
+                kind="relative", warn=1.3, fail=2.0)
+    base.update(kw)
+    return MetricSpec(**base)
+
+
+def _entries(values, key="t"):
+    return [
+        {"benchmark": "bench", "timestamp": f"2026-01-{i+1:02d}", key: v}
+        for i, v in enumerate(values)
+    ]
+
+
+class TestExtraction:
+    def test_dotted_path(self):
+        entry = {"a": {"b": {"c": 2.5}}}
+        assert extract(entry, "a.b.c") == 2.5
+
+    def test_wildcard_averages_mapping(self):
+        entry = {"molecules": {"x": {"ratio": 1.0}, "y": {"ratio": 3.0}}}
+        assert extract(entry, "molecules.*.ratio") == 2.0
+
+    def test_missing_returns_none(self):
+        assert extract({"a": 1}, "b") is None
+        assert extract({"a": {"b": 1}}, "a.c") is None
+
+    def test_bool_coerces_to_float(self):
+        assert extract({"ok": True}, "ok") == 1.0
+        assert extract({"ok": False}, "ok") == 0.0
+
+
+class TestRobustBaseline:
+    def test_median_and_mad(self):
+        med, sigma = robust_baseline([1.0, 1.0, 1.0, 100.0])
+        assert med == 1.0
+        assert sigma == 0.0  # MAD ignores the single outlier
+
+    def test_single_point(self):
+        med, sigma = robust_baseline([2.0])
+        assert med == 2.0
+        assert sigma == 0.0
+
+    def test_noisy_series_has_positive_sigma(self):
+        _, sigma = robust_baseline([1.0, 1.1, 0.9, 1.05, 0.95])
+        assert sigma > 0
+
+
+class TestGradeSeries:
+    def test_flat_history_passes(self):
+        f = grade_series(_spec(), [1.0, 1.01, 0.99, 1.0, 1.02], ["t"] * 5)
+        assert f.status == PASS
+
+    def test_flat_noisy_history_passes(self):
+        values = [1.0, 1.3, 0.8, 1.1, 0.9, 1.25, 1.28]
+        f = grade_series(_spec(), values, ["t"] * len(values))
+        assert f.status == PASS
+
+    def test_spike_fails(self):
+        f = grade_series(_spec(), [1.0, 1.0, 1.01, 0.99, 2.5], ["t"] * 5)
+        assert f.status == FAIL
+        assert f.ratio >= 2.0
+
+    def test_drift_warns(self):
+        f = grade_series(_spec(), [1.0, 1.0, 1.0, 1.0, 1.45], ["t"] * 5)
+        assert f.status == WARN
+
+    def test_higher_is_better_direction(self):
+        spec = _spec(direction="higher")
+        f = grade_series(spec, [5.0, 5.0, 5.0, 2.0], ["t"] * 4)
+        assert f.status == FAIL
+        f = grade_series(spec, [5.0, 5.0, 5.0, 5.1], ["t"] * 4)
+        assert f.status == PASS
+
+    def test_no_baseline_yet_passes(self):
+        f = grade_series(_spec(), [1.0], ["t"])
+        assert f.status == PASS
+        assert "no baseline" in f.note
+
+    def test_absolute_bounds(self):
+        spec = _spec(kind="absolute", warn=1e-11, fail=1e-10)
+        assert grade_series(spec, [5e-12], ["t"]).status == PASS
+        assert grade_series(spec, [5e-11], ["t"]).status == WARN
+        assert grade_series(spec, [5e-9], ["t"]).status == FAIL
+
+    def test_absolute_higher_direction(self):
+        spec = _spec(kind="absolute", direction="higher", warn=0.9, fail=0.5)
+        assert grade_series(spec, [0.95], ["t"]).status == PASS
+        assert grade_series(spec, [0.7], ["t"]).status == WARN
+        assert grade_series(spec, [0.3], ["t"]).status == FAIL
+
+    def test_flag_kind(self):
+        spec = _spec(kind="flag")
+        assert grade_series(spec, [1.0], ["t"]).status == PASS
+        assert grade_series(spec, [0.0], ["t"]).status == FAIL
+
+
+def _history_file(tmp_path, values, name="BENCH_x.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps({"description": "t", "history": _entries(values)}))
+    return path
+
+
+class TestGrade:
+    def test_exit_codes(self, tmp_path):
+        specs = (_spec(),)
+        ok = grade([_history_file(tmp_path, [1.0, 1.0, 1.0])], specs=specs)
+        assert ok.status == PASS
+        assert ok.exit_code == 0
+        bad = grade(
+            [_history_file(tmp_path, [1.0, 1.0, 1.0, 9.0])], specs=specs
+        )
+        assert bad.status == FAIL
+        assert bad.exit_code == 1
+
+    def test_warn_does_not_fail_the_gate(self):
+        report = CheckReport(findings=[
+            grade_series(_spec(), [1.0, 1.0, 1.0, 1.45], ["t"] * 4)
+        ])
+        assert report.status == WARN
+        assert report.exit_code == 0
+
+    def test_quick_filters_specs(self, tmp_path):
+        specs = (_spec(quick=False), _spec(key="u", quick=True))
+        path = _history_file(tmp_path, [1.0, 1.0])
+        report = grade([path], specs=specs, quick=True)
+        graded_keys = {f.spec.key for f in report.findings}
+        assert "t" not in graded_keys
+
+    def test_missing_benchmark_is_skipped_not_failed(self):
+        report = grade([], specs=(_spec(),))
+        assert report.findings == []
+        assert report.skipped
+        assert report.exit_code == 0
+
+    def test_window_limits_baseline(self, tmp_path):
+        # old regression ages out of the window: the recent points rule
+        values = [9.0] + [1.0] * 10
+        report = grade(
+            [_history_file(tmp_path, values)], specs=(_spec(),), window=4
+        )
+        assert report.findings[0].status == PASS
+
+    def test_runs_join_the_gate(self, tmp_path):
+        from repro.obs.manifest import RunLedger
+
+        ledger = RunLedger(tmp_path / "runs" / "bad", command="scf")
+        ledger.add_summary(converged=False)
+        ledger.close(1)
+        report = grade([], specs=(), runs=tmp_path / "runs")
+        assert report.status == FAIL
+        labels = {f.spec.label for f in report.findings}
+        assert "run:bad.exit_code" in labels
+        assert "run:bad.converged" in labels
+
+    def test_text_renders_counts(self, tmp_path):
+        report = grade([_history_file(tmp_path, [1.0, 1.0])], specs=(_spec(),))
+        text = report.text()
+        assert "bench.t" in text
+        assert "pass" in text.lower()
+
+
+class TestHistoryIO:
+    def test_load_history(self, tmp_path):
+        doc = {"description": "x", "history": _entries([1.0, 2.0])}
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(doc))
+        entries = load_history(path)
+        assert [e["t"] for e in entries] == [1.0, 2.0]
+
+    def test_load_history_missing_file(self, tmp_path):
+        assert load_history(tmp_path / "absent.json") == []
+
+    def test_series_for_filters_by_benchmark(self):
+        entries = _entries([1.0, 2.0]) + [{"benchmark": "other", "t": 9.0}]
+        values, stamps = series_for(entries, _spec())
+        assert values == [1.0, 2.0]
+        assert len(stamps) == 2
+
+    def test_history_text(self, tmp_path):
+        path = _history_file(tmp_path, [1.0, 1.1, 1.2])
+        text = history_text([path], specs=(_spec(),))
+        assert "bench.t" in text
+        assert "1.2" in text
+
+
+class TestDefaultSpecs:
+    def test_default_specs_cover_committed_benchmarks(self):
+        families = {s.benchmark for s in DEFAULT_SPECS}
+        assert {
+            "eri_kernels", "fock_table3", "fock_chaos",
+            "scf_guard", "phase_profiler",
+        } <= families
+
+    def test_labels_are_unique(self):
+        labels = [s.label for s in DEFAULT_SPECS]
+        assert len(labels) == len(set(labels))
