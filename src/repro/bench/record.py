@@ -36,6 +36,24 @@ SCHEMAS: dict[str, dict[str, type]] = {
         "max_abs_diff": float,
         "t_cached_iter2_s": float,
         "cache_iter2_hit_rate": float,
+        # class-batched cross-quartet path (PR 7)
+        "t_class_s": float,
+        "class_batched_speedup": float,
+        "class_max_abs_diff": float,
+        # stored-integral (conventional SCF) mode
+        "stored_iter2_s": float,
+        "store_iter2_recomputed": float,
+    },
+    # larger systems where timing the seed kernel is impractical: the
+    # class-batched path is the only timed kernel, and numerics are
+    # verified on a sampled quartet subset against the PR-2 batched kernel
+    "eri_kernels_large": {
+        "molecule": str,
+        "basis": str,
+        "quartets": float,
+        "t_class_s": float,
+        "stored_iter2_s": float,
+        "sample_max_abs_diff": float,
     },
     "fock_table3": {
         "wall_s": float,

@@ -69,15 +69,27 @@ def _run_scf(args: argparse.Namespace) -> int:
             max_nonfinite=args.guard_max_nonfinite,
         )
     print(f"RHF/{args.basis} on {mol.formula} ({mol.nelectrons} electrons)")
-    result = RHF(
+    rhf = RHF(
         mol,
         basis_name=args.basis,
         use_diis=not args.no_diis,
         max_iter=args.max_iter,
         guard=guard,
-    ).run()
+        integral_store=args.store,
+        jk_threads=args.jk_threads,
+    )
+    result = rhf.run()
     print(f"energy      = {result.energy:.8f} hartree")
     print(f"converged   = {result.converged} ({result.iterations} iterations)")
+    store = rhf.engine.integral_store
+    if store is not None:
+        st = store.stats()
+        print(
+            f"store       = {st['nblocks']} blocks, "
+            f"{st['nbytes'] / 2**20:.2f} MiB at {st['path']} "
+            f"(served {rhf.engine.quartets_served_from_store}, "
+            f"computed {rhf.engine.quartets_computed})"
+        )
     if result.orbital_energies is not None:
         from repro.scf.properties import orbital_summary
 
@@ -502,6 +514,17 @@ def main(argv: list[str] | None = None) -> int:
     p_scf.add_argument("--max-iter", type=int, default=100)
     p_scf.add_argument(
         "--no-diis", action="store_true", help="disable DIIS acceleration"
+    )
+    p_scf.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="directory for the memory-mapped stored-integral layer "
+        "(conventional SCF: iterations after the first recompute zero "
+        "ERIs; see docs/PERFORMANCE.md)",
+    )
+    p_scf.add_argument(
+        "--jk-threads", type=int, default=None, metavar="N",
+        help="worker threads for the class-batched J/K contraction "
+        "(default: REPRO_JK_THREADS or serial)",
     )
     p_scf.add_argument(
         "--guard", action="store_true",

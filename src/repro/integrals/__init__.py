@@ -1,6 +1,13 @@
 """Gaussian integral engines: Boys, one-electron, ERIs, screening."""
 
 from repro.integrals.boys import boys, boys_array, boys_quadrature, boys_series, boys_single
+from repro.integrals.class_batch import (
+    ClassBatch,
+    ClassPlan,
+    build_class_plan,
+    jk_for_quartets,
+    jk_from_plan,
+)
 from repro.integrals.engine import (
     ERIEngine,
     MDEngine,
@@ -16,9 +23,12 @@ from repro.integrals.eri_os import eri_shell_quartet_os
 from repro.integrals.pairdata import (
     PairData,
     ShellPairData,
+    StackedPairs,
     build_pair_data,
     eri_shell_quartet_batched,
+    stack_pairs,
 )
+from repro.integrals.store import ERIStore, StoreInvalidatedWarning, basis_fingerprint
 from repro.integrals.oneelec import (
     core_hamiltonian,
     kinetic,
@@ -45,8 +55,18 @@ __all__ = [
     "QuartetCache",
     "SyntheticERIEngine",
     "canonical_quartet",
+    "ClassBatch",
+    "ClassPlan",
+    "ERIStore",
+    "StoreInvalidatedWarning",
+    "basis_fingerprint",
+    "build_class_plan",
+    "jk_for_quartets",
+    "jk_from_plan",
     "PairData",
     "ShellPairData",
+    "StackedPairs",
+    "stack_pairs",
     "build_pair_data",
     "eri_shell_quartet",
     "eri_shell_quartet_batched",

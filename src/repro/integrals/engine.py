@@ -28,30 +28,31 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
+from pathlib import Path
 
 import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
+from repro.integrals.class_batch import (
+    EIGHT_PERMUTATIONS as _EIGHT_PERMUTATIONS,
+)
+from repro.integrals.class_batch import (
+    ClassPlan,
+    build_class_plan,
+    iter_canonical_quartets,
+)
 from repro.integrals.eri_md import eri_shell_quartet
 from repro.integrals.eri_os import eri_shell_quartet_os
 from repro.integrals.pairdata import ShellPairData, eri_shell_quartet_batched
 from repro.integrals.schwarz import schwarz_matrix, schwarz_model
+from repro.integrals.store import ERIStore
 from repro.obs import get_metrics
 
-#: The 8 axis permutations of an (ab|cd) block (kept in sync with
-#: repro.scf.fock.EIGHT_PERMUTATIONS; duplicated to avoid a cycle).
-_EIGHT_PERMUTATIONS: tuple[tuple[int, int, int, int], ...] = (
-    (0, 1, 2, 3),
-    (1, 0, 2, 3),
-    (0, 1, 3, 2),
-    (1, 0, 3, 2),
-    (2, 3, 0, 1),
-    (3, 2, 0, 1),
-    (2, 3, 1, 0),
-    (3, 2, 1, 0),
-)
-
 _IDENTITY = (0, 1, 2, 3)
+
+#: bound on memoized class plans per engine (IncrementalFockBuilder
+#: cycles through a handful of effective thresholds per SCF run)
+_MAX_CLASS_PLANS = 8
 
 
 class NonFiniteERIError(RuntimeError):
@@ -168,7 +169,12 @@ class QuartetCache:
 class ERIEngine(abc.ABC):
     """Interface between integral generation and Fock construction."""
 
-    def __init__(self, basis: BasisSet, cache_mb: float | None = None):
+    def __init__(
+        self,
+        basis: BasisSet,
+        cache_mb: float | None = None,
+        store: str | Path | ERIStore | None = None,
+    ):
         self.basis = basis
         self._schwarz: np.ndarray | None = None
         #: number of quartet blocks actually computed (used by
@@ -176,7 +182,11 @@ class ERIEngine(abc.ABC):
         self.quartets_computed = 0
         #: number of quartet() calls answered from the LRU cache
         self.quartets_served_from_cache = 0
+        #: number of quartet blocks read back from the integral store
+        self.quartets_served_from_store = 0
         self.quartet_cache: QuartetCache | None = None
+        #: opt-in memory-mapped stored-integral layer (conventional SCF)
+        self.integral_store: ERIStore | None = None
         #: NaN/Inf sentinel on computed blocks (armed by the SCF guard);
         #: off by default so the hot path carries zero extra cost
         self.finite_check = False
@@ -185,8 +195,12 @@ class ERIEngine(abc.ABC):
         #: seeded numerical-corruption hook (the ``scf`` fault family);
         #: see :class:`repro.runtime.faults.SCFFaultState`
         self.scf_faults = None
+        #: memoized class-batched execution plans, keyed by tau
+        self._class_plans: OrderedDict[float, ClassPlan] = OrderedDict()
         if cache_mb is not None:
             self.enable_quartet_cache(cache_mb)
+        if store is not None:
+            self.attach_store(store)
 
     @abc.abstractmethod
     def _quartet(self, m: int, n: int, p: int, q: int) -> np.ndarray: ...
@@ -202,15 +216,67 @@ class ERIEngine(abc.ABC):
     def disable_quartet_cache(self) -> None:
         self.quartet_cache = None
 
+    def attach_store(self, store: str | Path | ERIStore) -> ERIStore:
+        """Layer a memory-mapped integral store under the LRU cache.
+
+        Accepts a directory path (an :class:`ERIStore` is created and
+        opened there) or an already-constructed store.  An existing
+        on-disk store is reused only if its manifest fingerprint matches
+        this engine's basis; otherwise it is invalidated (with a
+        warning) and refilled from the next Fock build.
+        """
+        if not isinstance(store, ERIStore):
+            store = ERIStore(store, self.basis)
+        self.integral_store = store.open_or_fill()
+        return self.integral_store
+
+    def detach_store(self) -> None:
+        self.integral_store = None
+
+    @property
+    def supports_class_batched(self) -> bool:
+        """Whether the cross-quartet class-batched J/K path applies."""
+        return False
+
+    def class_plan(self, tau: float) -> ClassPlan:
+        """The class-batched execution plan for threshold ``tau``, memoized.
+
+        Plans depend only on the basis and the Schwarz-screened quartet
+        set, so one plan serves every SCF iteration at a given ``tau``
+        (a small LRU absorbs the incremental builder's varying effective
+        thresholds).  Planning time lands in the ``class_plan`` profiler
+        phase.
+        """
+        plan = self._class_plans.get(tau)
+        if plan is not None:
+            self._class_plans.move_to_end(tau)
+            return plan
+        from repro.obs.profile import PHASE_CLASS_PLAN, get_profiler
+
+        with get_profiler().phase(PHASE_CLASS_PLAN):
+            plan = build_class_plan(
+                self.basis,
+                getattr(self, "pair_cache", None),
+                iter_canonical_quartets(self.schwarz(), tau),
+            )
+        self._class_plans[tau] = plan
+        while len(self._class_plans) > _MAX_CLASS_PLANS:
+            self._class_plans.popitem(last=False)
+        return plan
+
     def quartet(self, m: int, n: int, p: int, q: int) -> np.ndarray:
         """ERI block (MN|PQ) for shell indices, basis-function shape.
 
         With the quartet cache enabled, blocks are computed for the
         canonical index tuple only and every permutation image is served
-        as a transposed view -- treat the result as read-only.
+        as a transposed view -- treat the result as read-only.  An
+        attached ready integral store is consulted between the cache and
+        the kernel; a filling store records every computed canonical
+        block.
         """
         cache = self.quartet_cache
-        if cache is None:
+        store = self.integral_store
+        if cache is None and store is None:
             self.quartets_computed += 1
             block = self._quartet(m, n, p, q)
             # sum-reduction sentinel: any NaN/Inf element makes the sum
@@ -219,15 +285,24 @@ class ERIEngine(abc.ABC):
                 block = self._rescue_quartet(m, n, p, q)
             return block
         key, perm = canonical_quartet(m, n, p, q)
-        block = cache.get(key)
+        block = cache.get(key) if cache is not None else None
+        if block is None and store is not None and store.ready:
+            block = store.get(key)
+            if block is not None:
+                self.quartets_served_from_store += 1
+                if cache is not None:
+                    cache.put(key, block)
+        elif block is not None:
+            self.quartets_served_from_cache += 1
         if block is None:
             self.quartets_computed += 1
             block = self._quartet(*key)
             if self.finite_check and not np.isfinite(block.sum()):
                 block = self._rescue_quartet(*key)
-            cache.put(key, block)
-        else:
-            self.quartets_served_from_cache += 1
+            if store is not None and store.filling:
+                store.record(key, block)
+            if cache is not None:
+                cache.put(key, block)
         if perm == _IDENTITY:
             return block
         return np.transpose(block, perm)
@@ -269,11 +344,16 @@ class MDEngine(ERIEngine):
         basis: BasisSet,
         model_schwarz: bool = False,
         batched: bool = True,
+        class_batched: bool = True,
         cache_mb: float | None = None,
+        store: str | Path | ERIStore | None = None,
     ):
-        super().__init__(basis, cache_mb=cache_mb)
+        super().__init__(basis, cache_mb=cache_mb, store=store)
         self.model_schwarz = model_schwarz
         self.batched = batched
+        #: opt out of the cross-quartet class-batched J/K path while
+        #: keeping the per-quartet batched kernel (A/B benchmarking)
+        self.class_batched = class_batched
         self.pair_cache: ShellPairData | None = (
             ShellPairData(basis) if batched else None
         )
@@ -317,15 +397,27 @@ class MDEngine(ERIEngine):
     def supports_reference_path(self) -> bool:
         return True
 
+    @property
+    def supports_class_batched(self) -> bool:
+        """The cross-quartet path shares the batched MD kernel math, so
+        it is available exactly when the batched kernel is (and not
+        explicitly opted out)."""
+        return (
+            self.class_batched and self.batched and self.pair_cache is not None
+        )
+
     def force_reference_path(self) -> None:
         """Permanently fall back to the per-primitive reference kernel.
 
-        The guard's last ladder rung: disables the batched kernel and
-        its pair cache, and clears the quartet cache (cached blocks may
-        have come from the distrusted fast path).
+        The guard's last ladder rung: disables the batched kernel, its
+        pair cache, and the class-batched plans, clears the quartet
+        cache, and detaches any integral store (cached and stored blocks
+        may have come from the distrusted fast path).
         """
         self.batched = False
         self.pair_cache = None
+        self._class_plans.clear()
+        self.integral_store = None
         if self.quartet_cache is not None:
             self.quartet_cache.clear()
 

@@ -160,6 +160,79 @@ class ShellPairData:
         return sum(d.nbytes for d in self._pairs.values())
 
 
+@dataclass(frozen=True)
+class StackedPairs:
+    """Unique shell pairs of one angular-momentum class, stacked.
+
+    The cross-quartet analogue of :class:`PairData`: all arrays gain a
+    leading *pair-slot* axis of length ``npairs`` so a whole class batch
+    can gather its bra (or ket) primitive data with one fancy-index read
+    (see :mod:`repro.integrals.class_batch`).  Stacking requires every
+    member pair to share ``(la, lb, npp)`` -- guaranteed by the class
+    key.
+    """
+
+    la: int
+    lb: int
+    #: contraction coefficient products, shape (npairs, npp)
+    coef: np.ndarray
+    #: composite exponents, shape (npairs, npp)
+    p: np.ndarray
+    #: Gaussian product centers, shape (npairs, npp, 3)
+    P: np.ndarray
+    #: E tensors, shape (npairs, npp, ncart_a, ncart_b, nherm)
+    E: np.ndarray
+    #: flattened Hermite (t, u, v) indices shared by the class, (nherm,)
+    tt: np.ndarray
+    uu: np.ndarray
+    vv: np.ndarray
+
+    @property
+    def npairs(self) -> int:
+        return int(self.p.shape[0])
+
+    @property
+    def npp(self) -> int:
+        """Primitive pairs per shell pair (uniform across the stack)."""
+        return int(self.p.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            arr.nbytes for arr in (self.coef, self.p, self.P, self.E,
+                                   self.tt, self.uu, self.vv)
+        )
+
+
+def stack_pairs(
+    cache: ShellPairData, pairs: list[tuple[int, int]]
+) -> StackedPairs:
+    """Stack the :class:`PairData` of ``pairs`` into one contiguous block.
+
+    ``pairs`` must be non-empty and class-uniform (same ``la``, ``lb``,
+    and primitive-pair count); the per-pair records come from (and are
+    memoized in) ``cache``.
+    """
+    if not pairs:
+        raise ValueError("cannot stack an empty pair list")
+    records = [cache.get(i, j) for i, j in pairs]
+    first = records[0]
+    for rec in records[1:]:
+        if (rec.la, rec.lb, rec.npp) != (first.la, first.lb, first.npp):
+            raise ValueError("stack_pairs requires class-uniform pairs")
+    return StackedPairs(
+        la=first.la,
+        lb=first.lb,
+        coef=np.stack([r.coef for r in records]),
+        p=np.stack([r.p for r in records]),
+        P=np.stack([r.P for r in records]),
+        E=np.stack([r.E for r in records]),
+        tt=first.tt,
+        uu=first.uu,
+        vv=first.vv,
+    )
+
+
 def eri_shell_quartet_batched(
     sh_a: Shell,
     sh_b: Shell,

@@ -27,13 +27,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
-from repro.integrals.eri_md import eri_shell_quartet
+from repro.integrals.pairdata import build_pair_data, eri_shell_quartet_batched
 
 
 def pair_bound(basis: BasisSet, m: int, n: int) -> float:
-    """Exact shell-pair value sigma(M,N) from the diagonal quartet."""
+    """Exact shell-pair value sigma(M,N) from the diagonal quartet.
+
+    Evaluated on the batched primitive kernel with the (M,N) pair data
+    built once and shared between bra and ket -- screening setup used to
+    cost as much as a visible slice of the whole J/K build on the seed
+    per-primitive kernel.
+    """
     sh_m, sh_n = basis.shells[m], basis.shells[n]
-    block = eri_shell_quartet(sh_m, sh_n, sh_m, sh_n)
+    pd = build_pair_data(sh_m, sh_n)
+    block = eri_shell_quartet_batched(sh_m, sh_n, sh_m, sh_n, bra=pd, ket=pd)
     nm, nn = sh_m.nbf, sh_n.nbf
     diag = np.abs(np.einsum("ijij->ij", block.reshape(nm, nn, nm, nn)))
     return float(np.sqrt(diag.max()))

@@ -1,0 +1,283 @@
+"""Memory-mapped stored-integral mode (conventional SCF).
+
+Mitin (arxiv 1905.07779) shows that for mid-size systems a *conventional*
+SCF -- compute the screened non-zero integrals once, store them, and
+re-read them every iteration -- beats direct SCF, whose ERI work is paid
+again on every Fock build.  This module is that storage layer:
+
+* :class:`ERIStore` persists canonical screened quartet blocks to a flat
+  ``float64`` file served back through ``np.memmap`` -- the OS page
+  cache keeps hot blocks in RAM with zero deserialization cost, and the
+  file stays usable across processes and sessions.
+* An ``index.npz`` maps packed canonical quartet keys to element offsets
+  (binary search at lookup; vectorized for whole class batches).
+* A ``manifest.json`` records provenance -- a SHA-256 fingerprint of the
+  basis (angular momenta, purity, centers, exponents, normalized
+  coefficients), the screening threshold ``tau``, and shapes -- so a
+  store can never silently serve integrals for the wrong basis: a
+  fingerprint mismatch invalidates the store (with a warning) and
+  refilling starts from scratch.
+
+Lifecycle: ``open_or_fill()`` -> ``filling`` (first Fock build records
+computed blocks) -> ``finalize(tau)`` -> ``ready`` (all later builds read
+only).  The store sits *under* the LRU quartet cache in
+:meth:`repro.integrals.engine.ERIEngine.quartet` and under the
+class-batched chunk resolver, so direct-SCF iterations >= 2 recompute
+zero ERIs (tracked by ``quartets_served_from_store``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import warnings
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.chem.basis.basisset import BasisSet
+
+STORE_VERSION = 1
+_MANIFEST = "manifest.json"
+_INDEX = "index.npz"
+_BLOCKS = "blocks.bin"
+
+
+def basis_fingerprint(basis: BasisSet) -> str:
+    """SHA-256 over everything that determines the ERI values.
+
+    Covers each shell's angular momentum, purity flag, center,
+    exponents, and *normalized* contraction coefficients (so a
+    renormalization change invalidates stores too), plus the shell
+    count/ordering implicitly through concatenation order.
+    """
+    h = hashlib.sha256()
+    h.update(f"v{STORE_VERSION}:{basis.nbf}:{len(basis.shells)}".encode())
+    for sh in basis.shells:
+        h.update(f"|{sh.l}:{int(sh.pure)}".encode())
+        h.update(np.ascontiguousarray(sh.center, dtype=np.float64).tobytes())
+        h.update(np.ascontiguousarray(sh.exps, dtype=np.float64).tobytes())
+        h.update(
+            np.ascontiguousarray(sh.norm_coefs, dtype=np.float64).tobytes()
+        )
+    return h.hexdigest()
+
+
+class StoreInvalidatedWarning(UserWarning):
+    """An on-disk integral store did not match the requested basis."""
+
+
+class ERIStore:
+    """On-disk store of canonical screened ERI quartet blocks.
+
+    States: ``filling`` (accepting :meth:`record` / :meth:`record_batch`)
+    and ``ready`` (memory-mapped, read-only).  ``generation`` increments
+    whenever the readable content changes, so callers can memoize
+    offset resolutions against it.
+    """
+
+    def __init__(self, path: str | Path, basis: BasisSet):
+        self.path = Path(path)
+        self.basis = basis
+        self.fingerprint = basis_fingerprint(basis)
+        self.manifest: dict | None = None
+        self.generation = 0
+        self.filling = False
+        self.ready = False
+        self._keys: np.ndarray | None = None  # sorted packed keys
+        self._offsets: np.ndarray | None = None  # element offsets, key order
+        self._flat: np.memmap | None = None
+        self._pending: dict[int, np.ndarray] = {}  # packed key -> flat block
+        self._lock = threading.Lock()
+        self._nshells = len(basis.shells)
+
+    # -- key packing --------------------------------------------------------
+
+    def pack(self, m: int, n: int, p: int, q: int) -> int:
+        s = self._nshells
+        return ((m * s + n) * s + p) * s + q
+
+    def pack_rows(self, quartets: np.ndarray) -> np.ndarray:
+        s = self._nshells
+        q = np.asarray(quartets, dtype=np.int64)
+        return ((q[:, 0] * s + q[:, 1]) * s + q[:, 2]) * s + q[:, 3]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def open_or_fill(self) -> "ERIStore":
+        """Attach to an existing valid store, or start filling a new one.
+
+        An existing store whose manifest fingerprint does not match the
+        current basis is *invalidated*: its files are removed, a
+        :class:`StoreInvalidatedWarning` is emitted, and the store drops
+        back to the filling state.
+        """
+        self.path.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.path / _MANIFEST
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                manifest = None
+            if (
+                manifest is not None
+                and manifest.get("version") == STORE_VERSION
+                and manifest.get("basis_sha256") == self.fingerprint
+                and (self.path / _INDEX).exists()
+                and (self.path / _BLOCKS).exists()
+            ):
+                self._attach(manifest)
+                return self
+            self.invalidate(
+                "basis fingerprint mismatch"
+                if manifest is not None
+                else "unreadable manifest"
+            )
+        self.filling = True
+        self.ready = False
+        return self
+
+    def _attach(self, manifest: dict) -> None:
+        with np.load(self.path / _INDEX) as idx:
+            self._keys = idx["keys"]
+            self._offsets = idx["offsets"]
+        self._flat = np.memmap(self.path / _BLOCKS, dtype=np.float64, mode="r")
+        self.manifest = manifest
+        self.ready = True
+        self.filling = False
+        self.generation += 1
+
+    def invalidate(self, reason: str) -> None:
+        """Discard on-disk content and return to the filling state."""
+        warnings.warn(
+            f"integral store at {self.path} invalidated ({reason}); "
+            "integrals will be recomputed and the store refilled",
+            StoreInvalidatedWarning,
+            stacklevel=2,
+        )
+        self._flat = None
+        self._keys = None
+        self._offsets = None
+        self.manifest = None
+        for name in (_MANIFEST, _INDEX, _BLOCKS):
+            try:
+                (self.path / name).unlink(missing_ok=True)
+            except OSError:
+                pass
+        self.ready = False
+        self.filling = True
+        self._pending.clear()
+        self.generation += 1
+
+    # -- filling ------------------------------------------------------------
+
+    @property
+    def pending_blocks(self) -> int:
+        return len(self._pending)
+
+    def record(self, key: tuple[int, int, int, int], block: np.ndarray) -> None:
+        """Record one canonical block while filling (thread-safe)."""
+        if not self.filling:
+            return
+        flat = np.ascontiguousarray(block, dtype=np.float64).ravel()
+        with self._lock:
+            self._pending.setdefault(self.pack(*key), flat)
+
+    def record_batch(self, quartets: np.ndarray, blocks: np.ndarray) -> None:
+        """Record a stacked chunk of canonical blocks while filling."""
+        if not self.filling:
+            return
+        keys = self.pack_rows(quartets)
+        flat = np.ascontiguousarray(blocks, dtype=np.float64).reshape(
+            len(keys), -1
+        )
+        with self._lock:
+            for i, key in enumerate(keys):
+                self._pending.setdefault(int(key), flat[i].copy())
+
+    def finalize(self, tau: float | None = None) -> None:
+        """Write pending blocks to disk and switch to the ready state."""
+        with self._lock:
+            if not self.filling or not self._pending:
+                return
+            items = sorted(self._pending.items())
+            keys = np.array([k for k, _ in items], dtype=np.int64)
+            sizes = np.array([b.size for _, b in items], dtype=np.int64)
+            offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+            flat = np.concatenate([b for _, b in items])
+            self.path.mkdir(parents=True, exist_ok=True)
+            flat.tofile(self.path / _BLOCKS)
+            np.savez(self.path / _INDEX, keys=keys, offsets=offsets,
+                     sizes=sizes)
+            manifest = {
+                "version": STORE_VERSION,
+                "basis_sha256": self.fingerprint,
+                "basis_name": self.basis.name,
+                "tau": None if tau is None else float(tau),
+                "nbf": int(self.basis.nbf),
+                "nshells": self._nshells,
+                "nblocks": int(keys.size),
+                "nelements": int(flat.size),
+                "created": datetime.now(timezone.utc).isoformat(),
+            }
+            (self.path / _MANIFEST).write_text(
+                json.dumps(manifest, indent=2) + "\n"
+            )
+            self._pending.clear()
+            self._attach(manifest)
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def nblocks(self) -> int:
+        return 0 if self._keys is None else int(self._keys.size)
+
+    @property
+    def nbytes(self) -> int:
+        return 0 if self._flat is None else int(self._flat.size * 8)
+
+    def offsets_for(self, quartets: np.ndarray) -> np.ndarray | None:
+        """Element offsets for quartet rows; -1 where a key is missing."""
+        if not self.ready:
+            return None
+        keys = self.pack_rows(quartets)
+        pos = np.searchsorted(self._keys, keys)
+        pos = np.minimum(pos, self._keys.size - 1)
+        found = self._keys[pos] == keys
+        out = np.where(found, self._offsets[pos], -1)
+        return out
+
+    def read_stacked(
+        self, offsets: np.ndarray, block_size: int, dims: tuple
+    ) -> np.ndarray:
+        """Gather uniform-size blocks at ``offsets`` into one stacked array."""
+        rows = self._flat[offsets[:, None] + np.arange(block_size)]
+        return rows.reshape((len(offsets),) + tuple(dims))
+
+    def get(self, key: tuple[int, int, int, int]) -> np.ndarray | None:
+        """One canonical block (basis-function shape), or None if absent."""
+        if not self.ready:
+            return None
+        packed = self.pack(*key)
+        pos = int(np.searchsorted(self._keys, packed))
+        if pos >= self._keys.size or self._keys[pos] != packed:
+            return None
+        shells = self.basis.shells
+        shape = tuple(shells[s].nbf for s in key)
+        off = int(self._offsets[pos])
+        size = int(np.prod(shape))
+        return np.asarray(self._flat[off:off + size]).reshape(shape)
+
+    def stats(self) -> dict:
+        """Snapshot for reports/tests."""
+        return {
+            "path": str(self.path),
+            "ready": self.ready,
+            "filling": self.filling,
+            "nblocks": self.nblocks,
+            "nbytes": self.nbytes,
+            "pending_blocks": self.pending_blocks,
+            "tau": None if self.manifest is None else self.manifest.get("tau"),
+        }

@@ -45,6 +45,7 @@ from typing import Any, Callable, Iterator
 #: free-form names are allowed, these are the ones the pipeline emits
 PHASE_PAIRDATA = "pairdata_build"
 PHASE_SCHWARZ = "schwarz_screening"
+PHASE_CLASS_PLAN = "class_plan"
 PHASE_ERI = "eri_quartets"
 PHASE_JK = "jk_contraction"
 PHASE_DIAG = "diagonalize"
@@ -175,6 +176,26 @@ class PhaseProfiler:
             return _PhaseSpan(self, name)
         return span
 
+    def add_sample(
+        self, name: str, wall_s: float, cpu_s: float, calls: int = 1
+    ) -> None:
+        """Fold externally measured time into phase ``name``.
+
+        Worker threads of the class-batched J/K path time their own
+        chunks (``time.perf_counter`` / ``time.thread_time``) and the
+        coordinating thread folds the results in here -- the reusable
+        :class:`_PhaseSpan` machinery is deliberately not thread-safe,
+        so cross-thread attribution goes through this aggregate-only
+        door (no tracer mirroring, no allocation attribution).
+        """
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = PhaseStat(name)
+        stat.calls += int(calls)
+        stat.wall_s += float(wall_s)
+        if cpu_s > 0.0:
+            stat.cpu_s += float(cpu_s)
+
     def _enter_alloc(self, span: _PhaseSpan) -> None:
         # bank the running peak on the phase being interrupted, then
         # reset so the nested phase sees only its own allocations
@@ -292,6 +313,11 @@ class NullProfiler(PhaseProfiler):
 
     def phase(self, name: str):  # type: ignore[override]
         return _NULL_PHASE_SPAN
+
+    def add_sample(
+        self, name: str, wall_s: float, cpu_s: float, calls: int = 1
+    ) -> None:
+        pass
 
     def export_metrics(self, registry=None) -> None:
         pass

@@ -86,6 +86,17 @@ DEFAULT_SPECS: tuple[MetricSpec, ...] = (
                warn=1.3, fail=2.0, unit="s"),
     MetricSpec("eri_kernels", "t_cached_iter2_s", "lower", "relative",
                warn=1.5, fail=3.0, unit="s"),
+    # class-batched cross-quartet path + stored-integral mode (PR 7)
+    MetricSpec("eri_kernels", "class_batched_speedup", "higher", "relative",
+               warn=1.3, fail=2.0, quick=True, unit="x"),
+    MetricSpec("eri_kernels", "class_max_abs_diff", "lower", "absolute",
+               warn=1e-13, fail=1e-12, quick=True, unit="Eh"),
+    MetricSpec("eri_kernels", "stored_iter2_s", "lower", "relative",
+               warn=1.5, fail=3.0, unit="s"),
+    MetricSpec("eri_kernels_large", "t_class_s", "lower", "relative",
+               warn=1.5, fail=3.0, unit="s"),
+    MetricSpec("eri_kernels_large", "sample_max_abs_diff", "lower",
+               "absolute", warn=1e-11, fail=1e-10, unit="Eh"),
     # -- Fock simulation trajectory (BENCH_fock.json) --------------------
     MetricSpec("fock_table3", "molecules.*.ratio_gtfock_over_nwchem",
                "lower", "absolute", warn=1.0, fail=1.5, quick=True,

@@ -19,21 +19,24 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
+from repro.integrals.class_batch import (
+    EIGHT_PERMUTATIONS,
+    iter_canonical_quartets,
+    jk_from_plan,
+)
 from repro.integrals.engine import ERIEngine
 from repro.obs.profile import PHASE_ERI, PHASE_JK, get_profiler
 from repro.util.validation import check_symmetric
 
-#: The 8 axis permutations of an (ab|cd) block, as (shell-index permutation).
-EIGHT_PERMUTATIONS: tuple[tuple[int, int, int, int], ...] = (
-    (0, 1, 2, 3),
-    (1, 0, 2, 3),
-    (0, 1, 3, 2),
-    (1, 0, 3, 2),
-    (2, 3, 0, 1),
-    (3, 2, 0, 1),
-    (2, 3, 1, 0),
-    (3, 2, 1, 0),
-)
+__all__ = [
+    "EIGHT_PERMUTATIONS",
+    "orbit_images",
+    "canonical_shell_quartets",
+    "scatter_quartet",
+    "build_jk",
+    "fock_matrix",
+    "hf_electronic_energy",
+]
 
 
 def orbit_images(
@@ -66,19 +69,11 @@ def canonical_shell_quartets(
     """Canonical (M>=N, pair(MN) >= pair(PQ)) screened shell quartets.
 
     ``sigma`` is the shell-pair Schwarz matrix; a quartet survives iff
-    ``sigma[M,N] * sigma[P,Q] > tau``.
+    ``sigma[M,N] * sigma[P,Q] > tau``.  (The implementation lives in
+    :func:`repro.integrals.class_batch.iter_canonical_quartets`, shared
+    with the class planner; this alias keeps the historical API.)
     """
-    ns = sigma.shape[0]
-    for m in range(ns):
-        for n in range(m + 1):
-            smn = sigma[m, n]
-            if smn <= 0.0:
-                continue
-            for p in range(m + 1):
-                qmax = n if p == m else p
-                for q in range(qmax + 1):
-                    if smn * sigma[p, q] > tau:
-                        yield (m, n, p, q)
+    return iter_canonical_quartets(sigma, tau)
 
 
 def scatter_quartet(
@@ -107,8 +102,17 @@ def build_jk(
     engine: ERIEngine,
     density: np.ndarray,
     tau: float = 1e-11,
+    threads: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Coulomb and exchange matrices by canonical quartet enumeration.
+    """Coulomb and exchange matrices over the screened canonical quartets.
+
+    Engines that support it take the cross-quartet *class-batched* path
+    (:mod:`repro.integrals.class_batch`): one vectorized kernel sweep and
+    one batched density contraction per angular-momentum class, optionally
+    threaded.  Everything else -- and any engine carrying seeded ``scf``
+    fault injection, whose corruption stream is defined by per-quartet
+    call order -- walks the original per-quartet loop, which produces
+    identical J/K up to floating-point summation order.
 
     Parameters
     ----------
@@ -118,9 +122,19 @@ def build_jk(
         Symmetric density matrix D, shape (nbf, nbf).
     tau:
         Cauchy-Schwarz drop tolerance (the paper uses 1e-10).
+    threads:
+        Worker threads for the class-batched contraction (``None`` reads
+        ``REPRO_JK_THREADS``, default 1; ignored on the per-quartet path).
     """
     basis = engine.basis
     check_symmetric(density, "density", tol=1e-8)
+    if (
+        getattr(engine, "supports_class_batched", False)
+        and getattr(engine, "scf_faults", None) is None
+    ):
+        return jk_from_plan(
+            engine, density, engine.class_plan(tau), tau=tau, threads=threads
+        )
     n = basis.nbf
     j = np.zeros((n, n))
     k = np.zeros((n, n))
@@ -135,6 +149,9 @@ def build_jk(
             block = engine.quartet(*quartet)
         with jk_span:
             scatter_quartet(j, k, density, basis, quartet, block)
+    store = getattr(engine, "integral_store", None)
+    if store is not None and store.filling and store.pending_blocks:
+        store.finalize(tau)
     return j, k
 
 
@@ -143,9 +160,10 @@ def fock_matrix(
     hcore: np.ndarray,
     density: np.ndarray,
     tau: float = 1e-11,
+    threads: int | None = None,
 ) -> np.ndarray:
     """Closed-shell Fock matrix F = H^core + 2J - K (Eq 3)."""
-    j, k = build_jk(engine, density, tau)
+    j, k = build_jk(engine, density, tau, threads=threads)
     return hcore + 2.0 * j - k
 
 

@@ -95,6 +95,18 @@ class RHF:
         cache with this memory budget (MiB): ERIs are density
         independent, so every direct-SCF iteration after the first
         serves its quartets from the cache instead of recomputing them.
+    integral_store:
+        When set, a directory for the memory-mapped stored-integral
+        layer (:class:`~repro.integrals.store.ERIStore`): conventional
+        SCF.  The first Fock build computes and records the screened
+        non-zero quartets; every later iteration reads them back with
+        zero ERI recomputation.  A store left by a previous run of the
+        *same* basis is reused directly; any mismatch invalidates it
+        (with a warning) and it is refilled.
+    jk_threads:
+        Worker threads for the class-batched J/K contraction (default
+        ``None`` = the ``REPRO_JK_THREADS`` environment variable, else
+        serial).
     checkpoint_dir:
         When set, snapshot the restartable state (density, energy
         history, DIIS window) to ``checkpoint_dir/scf_ckpt_NNNN.npz``
@@ -127,6 +139,8 @@ class RHF:
     density_method: str = "diagonalize"
     incremental: bool = False
     cache_mb: float | None = None
+    integral_store: str | None = None
+    jk_threads: int | None = None
     max_iter: int = 100
     e_tol: float = 1e-9
     d_tol: float = 1e-7
@@ -157,6 +171,8 @@ class RHF:
             self.engine = MDEngine(self.basis)
         if self.cache_mb is not None and self.engine.quartet_cache is None:
             self.engine.enable_quartet_cache(self.cache_mb)
+        if self.integral_store is not None and self.engine.integral_store is None:
+            self.engine.attach_store(self.integral_store)
         self.nocc = self.molecule.nelectrons // 2
         if self.nocc > self.basis.nbf:
             raise ValueError(
@@ -253,7 +269,9 @@ class RHF:
         def build_fock(density: np.ndarray) -> np.ndarray:
             if inc_builder is not None:
                 return inc_builder.fock(h, density)
-            return fock_matrix(self.engine, h, density, self.tau)
+            return fock_matrix(
+                self.engine, h, density, self.tau, threads=self.jk_threads
+            )
 
         it = start_it - 1
         for it in range(start_it, self.max_iter + 1):
@@ -386,7 +404,9 @@ class RHF:
         # final energy with the converged density
         with tracer.span("final_fock_build", cat="scf", molecule=mol_label), \
                 prof.phase(PHASE_FOCK):
-            f = fock_matrix(self.engine, h, d, self.tau)
+            f = fock_matrix(
+                self.engine, h, d, self.tau, threads=self.jk_threads
+            )
         e_elec = hf_electronic_energy(h, f, d)
         ledger.add_summary(
             molecule=mol_label, basis=self.basis_name,

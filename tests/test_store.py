@@ -1,0 +1,174 @@
+"""Tests for the memory-mapped stored-integral mode (conventional SCF).
+
+A store must round-trip blocks bitwise across processes (simulated by
+fresh engines attaching to the same directory), refuse to serve a
+mismatched basis, record honest provenance, and give SCF iterations
+>= 2 zero ERI recomputation -- verified by engine counters.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.chem.basis.basisset import BasisSet
+from repro.chem.builders import water
+from repro.integrals.engine import MDEngine
+from repro.integrals.store import (
+    ERIStore,
+    StoreInvalidatedWarning,
+    basis_fingerprint,
+)
+from repro.scf.fock import build_jk
+from repro.scf.hf import RHF
+
+
+def rand_density(rng, n):
+    d = rng.normal(size=(n, n))
+    return (d + d.T) / 2.0
+
+
+@pytest.fixture
+def sto3g_basis():
+    return BasisSet.build(water(), "sto-3g")
+
+
+class TestStoreLifecycle:
+    def test_fill_finalize_then_zero_recompute(self, tmp_path, sto3g_basis):
+        rng = np.random.default_rng(3)
+        d = rand_density(rng, sto3g_basis.nbf)
+        engine = MDEngine(sto3g_basis, store=tmp_path / "store")
+        assert engine.integral_store.filling
+        j1, k1 = build_jk(engine, d)
+        assert engine.integral_store.ready
+        computed = engine.quartets_computed
+        assert computed > 0
+        j2, k2 = build_jk(engine, d)
+        assert engine.quartets_computed == computed
+        assert engine.quartets_served_from_store == computed
+        assert np.array_equal(j1, j2)
+        assert np.array_equal(k1, k2)
+
+    def test_bitwise_round_trip_across_engines(self, tmp_path, sto3g_basis):
+        """A fresh engine attaching to the same directory reads the
+        identical bytes back (simulates a new process/session)."""
+        rng = np.random.default_rng(7)
+        d = rand_density(rng, sto3g_basis.nbf)
+        writer = MDEngine(sto3g_basis, store=tmp_path / "store")
+        j1, k1 = build_jk(writer, d)
+
+        reader = MDEngine(sto3g_basis, store=tmp_path / "store")
+        assert reader.integral_store.ready
+        j2, k2 = build_jk(reader, d)
+        assert reader.quartets_computed == 0
+        assert reader.quartets_served_from_store == writer.quartets_computed
+        assert np.array_equal(j1, j2)
+        assert np.array_equal(k1, k2)
+
+    def test_per_quartet_dispatch_reads_store(self, tmp_path, sto3g_basis):
+        rng = np.random.default_rng(9)
+        d = rand_density(rng, sto3g_basis.nbf)
+        writer = MDEngine(sto3g_basis, store=tmp_path / "store")
+        build_jk(writer, d)
+
+        reader = MDEngine(sto3g_basis, store=tmp_path / "store")
+        block_direct = MDEngine(sto3g_basis).quartet(1, 0, 0, 0)
+        block_stored = reader.quartet(1, 0, 0, 0)
+        assert reader.quartets_served_from_store == 1
+        assert reader.quartets_computed == 0
+        assert np.array_equal(block_direct, block_stored)
+
+
+class TestInvalidation:
+    def test_basis_change_invalidates_and_refills(self, tmp_path):
+        rng = np.random.default_rng(11)
+        small = BasisSet.build(water(), "sto-3g")
+        d = rand_density(rng, small.nbf)
+        build_jk(MDEngine(small, store=tmp_path / "store"), d)
+
+        big = BasisSet.build(water(), "6-31g")
+        with pytest.warns(StoreInvalidatedWarning):
+            engine = MDEngine(big, store=tmp_path / "store")
+        assert engine.integral_store.filling
+        d2 = rand_density(rng, big.nbf)
+        j_stored, k_stored = build_jk(engine, d2)
+        assert engine.quartets_computed > 0
+        manifest = json.loads((tmp_path / "store" / "manifest.json").read_text())
+        assert manifest["basis_sha256"] == basis_fingerprint(big)
+        j_ref, k_ref = build_jk(MDEngine(big), d2)
+        assert np.array_equal(j_stored, j_ref)
+        assert np.array_equal(k_stored, k_ref)
+
+    def test_unreadable_manifest_invalidates(self, tmp_path, sto3g_basis):
+        rng = np.random.default_rng(13)
+        d = rand_density(rng, sto3g_basis.nbf)
+        build_jk(MDEngine(sto3g_basis, store=tmp_path / "store"), d)
+        (tmp_path / "store" / "manifest.json").write_text("{not json")
+        with pytest.warns(StoreInvalidatedWarning):
+            store = ERIStore(tmp_path / "store", sto3g_basis).open_or_fill()
+        assert store.filling and not store.ready
+
+
+class TestManifestProvenance:
+    def test_manifest_fields(self, tmp_path, sto3g_basis):
+        rng = np.random.default_rng(17)
+        d = rand_density(rng, sto3g_basis.nbf)
+        engine = MDEngine(sto3g_basis, store=tmp_path / "store")
+        build_jk(engine, d, tau=1e-11)
+        manifest = json.loads((tmp_path / "store" / "manifest.json").read_text())
+        assert manifest["version"] == 1
+        assert manifest["basis_sha256"] == basis_fingerprint(sto3g_basis)
+        assert manifest["basis_name"] == "sto-3g"
+        assert manifest["tau"] == 1e-11
+        assert manifest["nbf"] == sto3g_basis.nbf
+        assert manifest["nshells"] == sto3g_basis.nshells
+        assert manifest["nblocks"] == engine.quartets_computed
+        created = datetime.fromisoformat(manifest["created"])
+        assert created.tzinfo is not None  # tz-aware UTC, never naive
+
+    def test_stats_snapshot(self, tmp_path, sto3g_basis):
+        rng = np.random.default_rng(19)
+        d = rand_density(rng, sto3g_basis.nbf)
+        engine = MDEngine(sto3g_basis, store=tmp_path / "store")
+        build_jk(engine, d)
+        stats = engine.integral_store.stats()
+        assert stats["ready"] and not stats["filling"]
+        assert stats["nblocks"] == engine.quartets_computed
+        assert stats["nbytes"] > 0
+        assert stats["pending_blocks"] == 0
+
+
+class TestStoredSCF:
+    def test_rhf_iterations_after_first_recompute_nothing(self, tmp_path):
+        """The acceptance criterion: conventional SCF through
+        ``RHF(integral_store=...)`` computes each screened quartet exactly
+        once -- every iteration >= 2 is served entirely from the store."""
+        scf = RHF(water(), integral_store=str(tmp_path / "store"))
+        result = scf.run()
+        assert result.converged
+        assert result.iterations >= 2
+        engine = scf.engine
+        # each unique screened quartet computed exactly once, ever
+        assert engine.quartets_computed == engine.integral_store.nblocks
+        # every Fock build after the first (iterations 2..N plus the
+        # final post-convergence build) is a full sweep served from disk
+        assert engine.quartets_served_from_store == (
+            result.iterations * engine.quartets_computed
+        )
+
+    def test_stored_scf_energy_matches_direct(self, tmp_path):
+        direct = RHF(water()).run()
+        stored = RHF(water(), integral_store=str(tmp_path / "store")).run()
+        assert stored.energy == pytest.approx(direct.energy, abs=1e-10)
+
+    def test_store_reused_across_scf_runs(self, tmp_path):
+        first = RHF(water(), integral_store=str(tmp_path / "store"))
+        first.run()
+        second = RHF(water(), integral_store=str(tmp_path / "store"))
+        result = second.run()
+        assert result.converged
+        assert second.engine.quartets_computed == 0
+        assert second.engine.quartets_served_from_store > 0
