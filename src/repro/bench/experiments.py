@@ -215,6 +215,9 @@ def table6_volume(cores: tuple[int, ...] = CORE_COUNTS) -> ExperimentReport:
         data[setup.name]["gtfock_steal_mb"] = {
             c: _steal_mb(res["gtfock"][c]) for c in cores
         }
+        data[setup.name]["gtfock_idle_frac"] = {
+            c: res["gtfock"][c].idle_fraction for c in cores
+        }
         for c in cores:
             rows.append(
                 [
@@ -223,10 +226,12 @@ def table6_volume(cores: tuple[int, ...] = CORE_COUNTS) -> ExperimentReport:
                     res["gtfock"][c].comm_mb_per_proc,
                     _steal_mb(res["gtfock"][c]),
                     res["nwchem"][c].comm_mb_per_proc,
+                    f"{res['gtfock'][c].idle_fraction:.3f}",
                 ]
             )
     text = format_table(
-        ["Molecule", "Cores", "GTFock MB/proc", "  of it steal MB", "NWChem MB/proc"],
+        ["Molecule", "Cores", "GTFock MB/proc", "  of it steal MB",
+         "NWChem MB/proc", "GTFock idle frac"],
         rows,
         title="Table VI: average communication volume per process",
         floatfmt="{:.1f}",

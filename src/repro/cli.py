@@ -10,6 +10,11 @@ ablation {reorder,steal,grain}  design-choice ablations
 report MOLECULE [--out PATH]    self-contained HTML run report; pass a
                                 run *directory* instead of a molecule to
                                 render a persisted run after the fact
+analyze MOLECULE [--cores N]    critical-path analysis of a simulated
+                                GTFock build: exact per-rank time
+                                decomposition, blame table, what-if
+                                projections (``--check`` gates the
+                                invariants -- the CI gate)
 chaos MOLECULE [--seed N]       fault-injected build, verified vs fault-free
                                 (``--family scf`` = NaN/Inf ERI corruption)
 torture [--quick]               SCF torture suite under the convergence guard
@@ -223,6 +228,59 @@ def _run_report(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fock.reorder import reorder_basis
+    from repro.fock.screening_map import ScreeningMap
+    from repro.fock.simulate import SimCapture, simulate_gtfock
+    from repro.integrals import schwarz_model
+    from repro.obs import Tracer, get_tracer
+    from repro.obs.critpath import analyze
+    from repro.obs.manifest import get_ledger
+
+    mol = _build_molecule(args.molecule)
+    basis = reorder_basis(BasisSet.build(mol, args.basis))
+    screen = ScreeningMap(basis, schwarz_model(basis), args.tau)
+    # path extraction needs the run traced: use the ambient tracer when
+    # --trace armed one, otherwise a local throwaway
+    tracer = get_tracer()
+    if not tracer.enabled:
+        tracer = Tracer("analyze")
+    capture = SimCapture()
+    simulate_gtfock(
+        basis, screen, args.cores, tracer=tracer, capture=capture
+    )
+    analysis = analyze(
+        capture,
+        resim=not args.no_resim,
+        network_scale=args.network_scale,
+    )
+    print(analysis.text())
+    analysis.export_metrics()
+    get_ledger().add_summary(critpath=analysis.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(analysis.to_json(), fh, indent=2)
+        print(f"analysis JSON written to {args.json}", file=sys.stderr)
+    if args.report:
+        from repro.obs.report import render_critpath_report
+
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(render_critpath_report(analysis))
+        print(
+            f"critical-path report written to {args.report}", file=sys.stderr
+        )
+    if args.check:
+        try:
+            analysis.check()
+        except AssertionError as exc:
+            print(f"analyze check FAILED: {exc}", file=sys.stderr)
+            return 1
+        print("analyze check: decomposition exact, what-ifs within tolerance")
     return 0
 
 
@@ -582,6 +640,45 @@ def main(argv: list[str] | None = None) -> int:
         "its convergence-guard section in the report",
     )
 
+    p_an = sub.add_parser(
+        "analyze",
+        help="critical-path analysis + what-if projections of a simulated "
+        "GTFock build (see docs/OBSERVABILITY.md)",
+        parents=[obs_flags],
+    )
+    p_an.add_argument("molecule", nargs="?", default="water")
+    p_an.add_argument("--basis", default="sto-3g")
+    p_an.add_argument(
+        "--cores", type=int, default=48,
+        help="total simulated cores (ranks = cores // cores_per_node)",
+    )
+    p_an.add_argument(
+        "--tau", type=float, default=1e-10, help="screening threshold"
+    )
+    p_an.add_argument(
+        "--network-scale", type=float, default=2.0, metavar="F",
+        help="slowdown factor of the network what-if (latency xF, "
+        "bandwidth /F)",
+    )
+    p_an.add_argument(
+        "--no-resim", action="store_true",
+        help="skip the what-if re-simulation cross-checks (faster; "
+        "verdicts stay PROJECTED)",
+    )
+    p_an.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full analysis as JSON",
+    )
+    p_an.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the critical-path HTML report",
+    )
+    p_an.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero if the exact-decomposition invariant drifts "
+        "or any cross-checked what-if FAILs",
+    )
+
     p_chaos = sub.add_parser(
         "chaos",
         help="run a fault-injected numeric build and verify it against "
@@ -780,6 +877,8 @@ def main(argv: list[str] | None = None) -> int:
             rc = _run_ablation(args)
         elif args.command == "report":
             rc = _run_report(args)
+        elif args.command == "analyze":
+            rc = _run_analyze(args)
         elif args.command == "chaos":
             rc = _run_chaos(args)
         elif args.command == "torture":

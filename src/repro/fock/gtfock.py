@@ -24,9 +24,12 @@ per-task/steal events -- one Perfetto row per rank.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.fock.simulate import SimCapture
 
 from repro.fock.cost import TaskCosts, quartet_cost_matrix
 from repro.fock.partition import StaticPartition
@@ -120,6 +123,7 @@ def gtfock_build(
     screen: ScreeningMap | None = None,
     tracer: Tracer | None = None,
     faults: FaultPlan | FaultState | None = None,
+    capture: "SimCapture | None" = None,
 ) -> GTFockBuildResult:
     """Numeric GTFock Fock-matrix construction on ``nproc`` simulated processes.
 
@@ -134,6 +138,11 @@ def gtfock_build(
     its orphaned tasks are re-executed by survivors (reading D on demand
     where their prefetch footprint falls short).  Only the virtual-time
     accounting, retry channel, and recovery records differ.
+
+    ``capture`` is an optional
+    :class:`~repro.fock.simulate.SimCapture` that the build fills with
+    the raw per-rank accounting for the critical-path analyzer
+    (:func:`repro.obs.critpath.analyze`).
     """
     if tracer is None:
         tracer = get_tracer()
@@ -172,6 +181,7 @@ def gtfock_build(
 
         # -- prefetch phase (Algorithm 4, line 3) ----------------------------
         own_masks: list[np.ndarray] = []
+        prefetch_time = np.zeros(nproc)
         with tracer.span("prefetch", cat="fock"):
             for p in range(nproc):
                 clock0 = float(stats.clock[p])
@@ -185,6 +195,7 @@ def gtfock_build(
                         p, fr0, fr1, fc0, fc1, channel=CH_PREFETCH_GET
                     )
                     bufs[p].have[fr0:fr1, fc0:fc1] = True
+                prefetch_time[p] = float(stats.clock[p]) - clock0
                 tracer.virtual_span(
                     "prefetch", p, clock0, float(stats.clock[p]), cat="comm",
                     boxes=len(boxes), elements=int(fp.elements),
@@ -230,6 +241,12 @@ def gtfock_build(
             nbytes = int(bufs[victim].have.sum()) * config.element_size
             return stats.charge_steal(thief, nbytes, ncalls=1)
 
+        event_observer = None
+        if capture is not None:
+            event_observer = lambda action, time, key: capture.events.append(
+                (action, time, key)
+            )
+
         with tracer.span("schedule", cat="fock"):
             queues = [part.task_block(p).tasks() for p in range(nproc)]
             outcome = run_work_stealing(
@@ -244,9 +261,11 @@ def gtfock_build(
                 tracer=tracer,
                 faults=fstate,
                 rng=fstate.rng if fstate is not None else None,
+                event_observer=event_observer,
             )
 
         # -- final flush (Algorithm 4, line 9) --------------------------------
+        flush_time = np.zeros(nproc)
         with tracer.span("flush", cat="fock"):
             dead = set(outcome.dead_ranks)
 
@@ -284,6 +303,7 @@ def gtfock_build(
                 acc_bbox(p, np.where(own, 0.0, g), CH_STEAL_F)
                 if fstate is not None:
                     ga_g.commit_epoch(("flush", p))
+                flush_time[p] = float(stats.clock[p]) - clock0
                 tracer.virtual_span(
                     "flush", p, clock0, float(stats.clock[p]), cat="comm"
                 )
@@ -293,6 +313,22 @@ def gtfock_build(
         if fstate is not None:
             top["dead_ranks"] = len(outcome.dead_ranks)
             top["reexecuted"] = outcome.reexecuted_tasks
+
+    if capture is not None:
+        capture.algorithm = "gtfock"
+        capture.molecule = basis.molecule.name or basis.molecule.formula
+        capture.cores = nproc * config.cores_per_node
+        capture.nproc = nproc
+        capture.config = config
+        capture.stats = stats
+        capture.outcome = outcome
+        capture.finish = stats.clock.copy()
+        capture.prefetch_time = prefetch_time
+        capture.flush_time = flush_time
+        capture.tracer = tracer
+        # no resimulate closure: re-running the numeric build recomputes
+        # real ERIs -- the analyzer's what-ifs stay projection-only here
+
     return GTFockBuildResult(
         fock=fock,
         stats=stats,

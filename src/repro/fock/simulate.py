@@ -16,6 +16,7 @@ quantities behind every evaluation artifact:
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
@@ -26,9 +27,11 @@ from repro.fock.nwchem_cost import build_nwchem_task_arrays
 from repro.fock.partition import StaticPartition
 from repro.fock.prefetch import block_footprint, ga_calls_for_footprint
 from repro.fock.screening_map import ScreeningMap
-from repro.fock.stealing import run_work_stealing
+from repro.fock.stealing import StealingOutcome, run_work_stealing
+from repro.obs import Tracer, get_metrics, get_tracer
 from repro.obs.flight import CH_FOCK_ACC, CH_PREFETCH_GET, CH_TASK_GET
 from repro.obs.profile import PHASE_SIM_LOOP, get_profiler
+from repro.obs.trace import NullTracer
 from repro.runtime.faults import FaultPlan, FaultState
 from repro.runtime.machine import LONESTAR, MachineConfig
 from repro.runtime.network import CommStats
@@ -75,9 +78,58 @@ class FockSimResult:
     recoveries: int = 0
     #: retry/backoff/ack-loss totals (:meth:`FaultState.overhead_summary`)
     fault_overhead: dict = field(default_factory=dict)
+    #: average per-rank endgame idle (makespan - own finish), seconds
+    idle_seconds_avg: float = 0.0
+    #: idle_seconds_avg / makespan -- the Table VI idle-fraction column
+    idle_fraction: float = 0.0
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+
+class SimCapture:
+    """Raw per-run state captured for the critical-path analyzer.
+
+    A mutable container the caller hands to :func:`simulate_gtfock` (or
+    :func:`repro.fock.gtfock.gtfock_build`) via ``capture=``; the
+    simulation fills it with the accounting objects the analyzer in
+    :mod:`repro.obs.critpath` consumes.  Deliberately *not* part of
+    :class:`FockSimResult`: the result must stay ``asdict``-serializable
+    while the capture holds live objects (tracer, closures, numpy
+    arrays).
+
+    Attributes are populated by the run; all default to ``None``/empty
+    so a partially filled capture fails loudly in the analyzer rather
+    than silently here.
+    """
+
+    def __init__(self) -> None:
+        self.algorithm: str = ""
+        self.molecule: str = ""
+        self.cores: int = 0
+        self.nproc: int = 0
+        self.config: MachineConfig | None = None
+        self.stats: CommStats | None = None
+        self.outcome: StealingOutcome | None = None
+        #: per-rank end time *after* the final F flush (= makespan input)
+        self.finish: np.ndarray | None = None
+        #: per-rank virtual seconds spent in the prefetch phase
+        self.prefetch_time: np.ndarray | None = None
+        #: per-rank virtual seconds spent in the final F flush
+        self.flush_time: np.ndarray | None = None
+        #: tracer that recorded the run's virtual spans (may be a no-op)
+        self.tracer: Tracer | None = None
+        #: event-resolution log: ``(action, time, key)`` in pop order
+        self.events: list[tuple[str, float, Any]] = []
+        #: re-run the identical simulation under perturbed parameters;
+        #: ``resimulate(enable_stealing=..., **config_overrides) -> makespan``
+        self.resimulate: Callable[..., float] | None = None
+
+    @property
+    def makespan(self) -> float:
+        if self.finish is None:
+            raise ValueError("capture not populated: run a simulation first")
+        return float(np.max(self.finish))
 
 
 def _finalize(
@@ -90,6 +142,19 @@ def _finalize(
     **extra,
 ) -> FockSimResult:
     t_avg = float(finish.mean())
+    t_max = float(finish.max())
+    # endgame idle: each rank waits at the closing barrier for the
+    # slowest one; exported per rank so the observatory can watch the
+    # balance story behind Table VIII, not just its summary ratio
+    idle = t_max - finish
+    gauge = get_metrics().gauge(
+        "repro_sim_idle_seconds",
+        "Per-rank endgame idle time in the simulated Fock build "
+        "(makespan minus own finish)",
+        labelnames=("proc", "algorithm"),
+    )
+    for p in range(stats.nproc):
+        gauge.set(float(idle[p]), proc=p, algorithm=algorithm)
     # the Fock phase ends at a barrier: average parallel overhead counts
     # everything that is not computation -- communication, scheduler
     # waits, and endgame idling behind the slowest process (the paper's
@@ -108,6 +173,8 @@ def _finalize(
         ga_calls_per_proc=stats.calls_per_process(),
         comm_summary=stats.summary(),
         comm_by_channel=stats.flight.channel_totals("bytes"),
+        idle_seconds_avg=float(idle.mean()),
+        idle_fraction=float(idle.mean()) / t_max if t_max > 0 else 0.0,
         **extra,
     )
 
@@ -121,6 +188,8 @@ def simulate_gtfock(
     enable_stealing: bool = True,
     molecule_name: str = "",
     faults: FaultPlan | FaultState | None = None,
+    tracer: Tracer | None = None,
+    capture: SimCapture | None = None,
 ) -> FockSimResult:
     """Simulate the paper's algorithm at ``cores`` total cores.
 
@@ -132,9 +201,16 @@ def simulate_gtfock(
     result additionally carries dead ranks, re-executed task counts and
     retry overhead, and every retried transfer shows up on the
     flight recorder's ``retry`` channel.
+
+    ``capture`` is an optional :class:`SimCapture` that the run fills
+    with the raw accounting (stats, stealing outcome, phase times,
+    event log, a ``resimulate`` closure) for
+    :func:`repro.obs.critpath.analyze`.
     """
     if cores < 1:
         raise ValueError("cores must be >= 1")
+    if tracer is None:
+        tracer = get_tracer()
     nproc = max(1, cores // config.cores_per_node)
     threads = min(cores, config.cores_per_node)
     if costs is None:
@@ -149,6 +225,8 @@ def simulate_gtfock(
 
     # -- prefetch: exact union footprint volume, boxed-region call count ----
     footprint_bytes = np.zeros(nproc)
+    prefetch_time = np.zeros(nproc)
+    prefetch_calls = np.zeros(nproc, dtype=np.int64)
     for p in range(nproc):
         fp = block_footprint(screen, part.task_block(p))
         calls = ga_calls_for_footprint(
@@ -156,9 +234,17 @@ def simulate_gtfock(
         )
         nbytes = fp.elements * config.element_size
         footprint_bytes[p] = nbytes
+        prefetch_calls[p] = calls
+        clock0 = float(stats.clock[p])
         stats.charge_comm(
             p, nbytes, ncalls=calls, remote=True, channel=CH_PREFETCH_GET
         )
+        prefetch_time[p] = float(stats.clock[p]) - clock0
+        if tracer.enabled and prefetch_time[p] > 0:
+            tracer.virtual_span(
+                "prefetch", p, clock0, float(stats.clock[p]), cat="comm",
+                nbytes=float(nbytes), calls=int(calls),
+            )
 
     # -- work-stealing execution over per-task costs ------------------------
     t_task = config.t_int_gtfock / threads
@@ -187,6 +273,12 @@ def simulate_gtfock(
         codes = (rows[:, None] * ns + cols[None, :]).ravel()
         queues.append(codes.tolist())
 
+    event_observer = None
+    if capture is not None:
+        event_observer = lambda action, time, key: capture.events.append(
+            (action, time, key)
+        )
+
     with get_profiler().phase(PHASE_SIM_LOOP):
         outcome = run_work_stealing(
             queues,
@@ -195,12 +287,15 @@ def simulate_gtfock(
             stats=stats,
             steal_cost=steal_cost,
             enable_stealing=enable_stealing,
+            tracer=tracer,
             faults=fstate,
             rng=fstate.rng if fstate is not None else None,
+            event_observer=event_observer,
         )
 
     # -- final flush of the F buffers ----------------------------------------
     finish = outcome.finish_time.copy()
+    flush_time = np.zeros(nproc)
     dead = set(outcome.dead_ranks)
     for p in range(nproc):
         if p in dead:
@@ -213,7 +308,54 @@ def simulate_gtfock(
         )
         # clock delta, not transfer_time: under fault injection the
         # flush also pays retries and backoff
-        finish[p] += float(stats.clock[p]) - clock0
+        flush_time[p] = float(stats.clock[p]) - clock0
+        finish[p] += flush_time[p]
+        if tracer.enabled and flush_time[p] > 0:
+            tracer.virtual_span(
+                "flush", p, float(finish[p]) - flush_time[p], float(finish[p]),
+                cat="comm", nbytes=float(footprint_bytes[p]), calls=fp_calls,
+            )
+
+    if capture is not None:
+        capture.algorithm = "gtfock"
+        capture.molecule = molecule_name or (
+            basis.molecule.name or basis.molecule.formula
+        )
+        capture.cores = cores
+        capture.nproc = nproc
+        capture.config = config
+        capture.stats = stats
+        capture.outcome = outcome
+        capture.finish = finish.copy()
+        capture.prefetch_time = prefetch_time
+        capture.flush_time = flush_time
+        capture.tracer = tracer
+
+        def resimulate(enable_stealing=enable_stealing, **overrides) -> float:
+            """Re-run this exact simulation under perturbed parameters."""
+            from repro.obs.metrics import set_metrics
+
+            cfg = config.with_(**overrides) if overrides else config
+            # a what-if re-simulation must not overwrite the primary
+            # run's exported metrics: divert them to a throwaway registry
+            previous = set_metrics(None)
+            try:
+                res = simulate_gtfock(
+                    basis,
+                    screen,
+                    cores,
+                    config=cfg,
+                    costs=costs,
+                    enable_stealing=enable_stealing,
+                    molecule_name=molecule_name,
+                    faults=faults,
+                    tracer=NullTracer(),
+                )
+            finally:
+                set_metrics(previous)
+            return res.t_fock_max
+
+        capture.resimulate = resimulate
 
     return _finalize(
         "gtfock",

@@ -80,6 +80,13 @@ class StealingOutcome:
     reexecuted_tasks: int = 0
     #: per-rank task execution history (only kept under fault injection)
     executed_history: list[list[Any]] | None = None
+    #: per-rank idle-blocked wait: time spent done-and-parked before being
+    #: woken to adopt a dead rank's orphans (zero outside fault injection)
+    blocked_time: np.ndarray | None = None
+    #: per-rank base cost of the *initial* static-partition queue -- what
+    #: each rank would compute with stealing disabled (the critical-path
+    #: analyzer's steal-off what-if replays this)
+    initial_cost: np.ndarray | None = None
 
     @property
     def makespan(self) -> float:
@@ -169,6 +176,7 @@ def run_work_stealing(
     faults: FaultState | None = None,
     rng: np.random.Generator | None = None,
     on_recover: Callable[[int, list[Any]], None] | None = None,
+    event_observer: Callable[[str, float, Any], None] | None = None,
 ) -> StealingOutcome:
     """Simulate the work-stealing execution of per-process task queues.
 
@@ -218,6 +226,9 @@ def run_work_stealing(
         Invoked as ``on_recover(rank, tasks)`` when a survivor adopts
         orphaned tasks (numeric builds may prefetch the tasks' D blocks
         here; the GTFock build instead falls back to on-demand fetches).
+    event_observer:
+        Forwarded to the :class:`EventQueue`; sees every schedule /
+        cancel / pop in resolution order (dependency capture).
     """
     if tracer is None:
         tracer = get_tracer()
@@ -230,10 +241,13 @@ def run_work_stealing(
 
     states = [_ProcState() for _ in range(nproc)]
     events = EventQueue(
-        perturb=faults.perturb_event if faults is not None else None
+        perturb=faults.perturb_event if faults is not None else None,
+        observer=event_observer,
     )
     finish = np.zeros(nproc)
     executed_cost = np.zeros(nproc)
+    blocked_time = np.zeros(nproc)
+    initial_cost = np.zeros(nproc)
     executed_tasks = np.zeros(nproc, dtype=np.int64)
     queue_ops = np.zeros(nproc, dtype=np.int64)
     steals: list[StealRecord] = []
@@ -255,6 +269,7 @@ def run_work_stealing(
     for p in range(nproc):
         start = float(stats.clock[p]) if stats is not None else 0.0
         costs = [cost_of(t) for t in queues[p]]
+        initial_cost[p] = float(sum(costs))
         end = states[p].begin(list(queues[p]), costs, start, factor_of(p))
         queue_ops[p] += 1  # one atomic enqueue of the whole initial block
         if stats is not None:
@@ -291,6 +306,15 @@ def run_work_stealing(
             stats.flight.record_op(p, CH_STEAL_TASK)
         if on_recover is not None:
             on_recover(p, tasks)
+        if done[p] and t > finish[p]:
+            # this rank had declared itself done at finish[p] and sat
+            # idle until the death woke it: a genuine cross-rank blocked
+            # wait (the only start-time dependency between ranks)
+            blocked_time[p] += t - finish[p]
+            if tracer.enabled:
+                tracer.virtual_span(
+                    "blocked", p, float(finish[p]), t, cat="sched"
+                )
         done[p] = False
         end = states[p].begin(tasks, costs, t, factor_of(p))
         events.schedule(end, p)
@@ -408,6 +432,10 @@ def run_work_stealing(
                 start = t + dt
                 if stats is not None and dt > 0:
                     stats.comm_time[p] += dt
+                if tracer.enabled and dt > 0:
+                    tracer.virtual_span(
+                        "steal_copy", p, t, start, cat="comm", victim=victim
+                    )
                 end = states[p].begin(stolen_tasks, stolen_costs, start, factor_of(p))
                 events.schedule(end, p)
                 steals.append(StealRecord(t, p, victim, len(stolen_tasks)))
@@ -437,4 +465,6 @@ def run_work_stealing(
         recoveries=recoveries,
         reexecuted_tasks=reexecuted,
         executed_history=history if track_faults else None,
+        blocked_time=blocked_time,
+        initial_cost=initial_cost,
     )

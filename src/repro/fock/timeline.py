@@ -25,7 +25,7 @@ class Span:
     proc: int
     start: float
     end: float
-    kind: str  # "work" | "steal"
+    kind: str  # "work" | "steal" | "comm" | "blocked"
     detail: str = ""
 
     @property
@@ -54,8 +54,12 @@ class Timeline:
         busy = sum(s.duration for s in self.for_proc(proc) if s.kind == "work")
         return busy / total
 
+    #: render characters per span kind ('.' marks idle gaps)
+    _CHARS = {"work": "#", "steal": "$", "comm": "%", "blocked": "~"}
+
     def render(self, width: int = 72) -> str:
-        """Text Gantt chart: '#' working, '$' stealing, '.' idle."""
+        """Text Gantt chart: '#' working, '$' stealing, '%' communicating,
+        '~' blocked waiting, '.' idle."""
         total = self.makespan
         nproc = max((s.proc for s in self.spans), default=-1) + 1
         if total <= 0 or nproc == 0:
@@ -66,7 +70,7 @@ class Timeline:
             for s in self.for_proc(p):
                 c0 = int(s.start / total * (width - 1))
                 c1 = max(c0, int(s.end / total * (width - 1)))
-                ch = "#" if s.kind == "work" else "$"
+                ch = self._CHARS.get(s.kind, "?")
                 for c in range(c0, c1 + 1):
                     if row[c] != "#":  # work wins over steal marks
                         row[c] = ch
@@ -81,7 +85,11 @@ def timeline_from_tracer(tracer: Tracer) -> Timeline:
 
     Per-task virtual spans (``cat="task"``) become work spans with the
     scheduler's exact start/end times; ``steal`` instants become
-    zero-duration steal marks on the thief's row.
+    zero-duration steal marks on the thief's row; ``steal_copy`` comm
+    spans (the thief paying for the victim's D-buffer copy) become
+    duration-bearing steal spans; ``prefetch`` / ``flush`` comm spans
+    become comm spans; ``blocked`` spans (a done rank parked until a
+    death wakes it) keep their own kind and render as ``~``.
     """
     timeline = Timeline()
     for ev in tracer.spans(cat="task"):
@@ -92,6 +100,17 @@ def timeline_from_tracer(tracer: Tracer) -> Timeline:
         timeline.spans.append(
             Span(ev.tid, ev.ts, ev.ts, "steal", f"from p{ev.args['victim']}")
         )
+    for ev in tracer.spans(cat="comm"):
+        if ev.name == "steal_copy":
+            kind, detail = "steal", f"copy from p{ev.args.get('victim', '?')}"
+        else:
+            kind, detail = "comm", ev.name
+        timeline.spans.append(Span(ev.tid, ev.ts, ev.end, kind, detail))
+    for ev in tracer.spans(cat="sched"):
+        if ev.name == "blocked":
+            timeline.spans.append(
+                Span(ev.tid, ev.ts, ev.end, "blocked", "await orphans")
+            )
     return timeline
 
 

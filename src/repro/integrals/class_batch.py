@@ -586,6 +586,7 @@ def jk_from_plan(
                 )
             for key in totals:
                 totals[key] += counts[key]
+        engine.last_jk_worker_stats = []
     else:
         shares: list[list] = [[] for _ in range(nthreads)]
         for i, chunk in enumerate(chunks):  # chunks are cost-sorted
@@ -613,6 +614,7 @@ def jk_from_plan(
             )
             for key in totals:
                 totals[key] += stats[key]
+        engine.last_jk_worker_stats = [stats for (_, _, stats) in results]
 
     engine.quartets_computed += totals["computed"]
     engine.quartets_served_from_cache += totals["from_cache"]

@@ -108,6 +108,17 @@ DEFAULT_SPECS: tuple[MetricSpec, ...] = (
                warn=1e-11, fail=1e-10, quick=True, unit="Eh"),
     MetricSpec("fock_chaos", "fault_slowdown", "lower", "relative",
                warn=1.5, fail=3.0, quick=True, unit="x"),
+    # critical-path analyzer (BENCH_fock.json, benchmark fock_critpath):
+    # the observatory grades *explanatory* metrics, not just wall times
+    MetricSpec("fock_critpath", "explained_ratio", "higher", "absolute",
+               warn=0.95, fail=0.80, quick=True, unit="frac"),
+    MetricSpec("fock_critpath", "idle_fraction", "lower", "absolute",
+               warn=0.30, fail=0.60, quick=True, unit="frac"),
+    MetricSpec("fock_critpath", "whatif_max_rel_err", "lower", "absolute",
+               warn=0.15, fail=0.30, quick=True, unit="frac"),
+    MetricSpec("fock_critpath", "decomposition_ok", kind="flag", quick=True),
+    MetricSpec("fock_critpath", "wall_s", "lower", "relative",
+               warn=1.5, fail=3.0, unit="s"),
     MetricSpec("scf_guard", "energy_matches", kind="flag", quick=True),
     MetricSpec("scf_guard", "overhead", "lower", "absolute",
                warn=0.05, fail=0.10, quick=True, unit="frac"),
@@ -408,6 +419,50 @@ def _grade_runs(root: str | Path) -> list[Finding]:
                 cspec, float(conv), None, 0.0, PASS if conv else FAIL,
                 note="" if conv else "SCF did not converge", n_points=1,
                 timestamp=str(rec.summary.get("finished_utc", "")),
+            ))
+        stamp = str(rec.summary.get("finished_utc", ""))
+        cp = rec.summary.get("critpath")
+        if isinstance(cp, dict) and "decomposition_ok" in cp:
+            ok = bool(cp["decomposition_ok"])
+            dspec = MetricSpec(f"run:{name}", "critpath_decomposition_ok",
+                               kind="flag", quick=True)
+            findings.append(Finding(
+                dspec, float(ok), None, 0.0, PASS if ok else FAIL,
+                note="" if ok else (
+                    f"max residual {cp.get('max_residual', '?')} s"
+                ),
+                n_points=1, timestamp=stamp,
+            ))
+        store = rec.summary.get("eri_store")
+        if isinstance(store, dict) and store.get("warm_start"):
+            # a warm-started store must serve everything: a single
+            # recomputed quartet means the store's coverage regressed
+            computed = int(store.get("computed", 0))
+            sspec = MetricSpec(f"run:{name}", "store_zero_recompute",
+                               kind="flag", quick=True)
+            findings.append(Finding(
+                sspec, float(computed == 0), None, 0.0,
+                PASS if computed == 0 else FAIL,
+                note="" if computed == 0 else (
+                    f"{computed} quartets recomputed despite a warm store"
+                ),
+                n_points=1, timestamp=stamp,
+            ))
+        jk = rec.summary.get("jk_threads")
+        if (
+            isinstance(jk, dict)
+            and jk.get("balance") is not None
+            and int(jk.get("workers", 0)) > 1
+        ):
+            bal = float(jk["balance"])
+            jspec = MetricSpec(f"run:{name}", "jk_worker_balance", "lower",
+                               "absolute", warn=1.5, fail=3.0, quick=True,
+                               unit="x")
+            status = PASS if bal <= 1.5 else (WARN if bal <= 3.0 else FAIL)
+            findings.append(Finding(
+                jspec, bal, None, 0.0, status,
+                note=f"slowest/mean J/K worker wall = {bal:.2f}x",
+                n_points=1, timestamp=stamp,
             ))
     return findings
 

@@ -245,9 +245,17 @@ def heatmap_svg(chans: list[str], values: np.ndarray) -> str:
 
 
 def steal_timeline_svg(
-    steals: list[Any], finish: np.ndarray, nproc: int
+    steals: list[Any],
+    finish: np.ndarray,
+    nproc: int,
+    path: list[dict] | None = None,
 ) -> str:
-    """Steal events over the virtual clock, one row per rank."""
+    """Steal events over the virtual clock, one row per rank.
+
+    ``path`` (critical-path segments as dicts with ``proc`` / ``start``
+    / ``end`` / ``kind``) overlays the chain that bounds the makespan on
+    the busy tracks.
+    """
     left, top, right, row_h = 44, 16, 12, 26
     plot_w = 640
     width = left + plot_w + right
@@ -317,6 +325,17 @@ def steal_timeline_svg(
         out.append(
             f'<circle class="mark" cx="{x:.1f}" cy="{y_t}" r="5" '
             f'fill="var(--series-1)">{tip}</circle>'
+        )
+    for seg in path or []:
+        y = y_of(int(seg["proc"]))
+        x0, x1 = x_of(float(seg["start"])), x_of(float(seg["end"]))
+        color = CRITPATH_COLORS.get(seg.get("kind", ""), "var(--series-2)")
+        out.append(
+            f'<line x1="{x0:.1f}" y1="{y}" x2="{max(x1, x0 + 0.8):.1f}" '
+            f'y2="{y}" stroke="{color}" stroke-width="6" opacity="0.85" '
+            f'stroke-linecap="butt"><title>critical path: '
+            f'{_esc(seg.get("kind", "?"))} on rank {seg["proc"]}, '
+            f'{float(seg["end"]) - float(seg["start"]):.3g} s</title></line>'
         )
     out.append("</svg>")
     return "".join(out)
@@ -554,6 +573,243 @@ def phase_section_html(
     return "".join(parts)
 
 
+# -- critical path -----------------------------------------------------------
+
+#: segment-kind palette shared by the waterfall and the timeline overlay
+CRITPATH_COLORS = {
+    "compute": "var(--series-1)",
+    "prefetch": "#86b6ef",
+    "flush": "var(--series-2)",
+    "steal": "#8d5fd3",
+    "blocked": "var(--status-warning)",
+    "slack": "var(--baseline)",
+}
+
+
+def critpath_waterfall_svg(
+    chains: list[list[dict]], makespan: float, path: list[dict] | None
+) -> str:
+    """Per-rank segment waterfall with the critical path outlined."""
+    nproc = len(chains)
+    left, top, right, row_h, bar_h = 44, 16, 12, 24, 14
+    plot_w = 640
+    width = left + plot_w + right
+    height = top + nproc * row_h + 34
+    tmax = max(makespan, 1e-30)
+    on_path = {
+        (int(s["proc"]), float(s["start"]), float(s["end"]))
+        for s in path or []
+    }
+    out = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="per-rank waterfall">'
+    ]
+    for p, chain in enumerate(chains):
+        y = top + p * row_h + (row_h - bar_h) / 2
+        out.append(
+            f'<text class="axis-label" x="{left - 8}" y="{y + bar_h - 3}" '
+            f'text-anchor="end">r{p}</text>'
+        )
+        for seg in chain:
+            s0, s1 = float(seg["start"]), float(seg["end"])
+            x = left + s0 / tmax * plot_w
+            w = max((s1 - s0) / tmax * plot_w, 0.6)
+            kind = seg.get("kind", "?")
+            color = CRITPATH_COLORS.get(kind, "var(--baseline)")
+            hot = (p, s0, s1) in on_path
+            stroke = (
+                ' stroke="var(--text-primary)" stroke-width="1.3"'
+                if hot
+                else ""
+            )
+            tip = (
+                f"<title>rank {p}: {_esc(kind)} "
+                f"{_esc(seg.get('detail', ''))} [{s0:.3g}, {s1:.3g}] s"
+                f"{' -- on the critical path' if hot else ''}</title>"
+            )
+            out.append(
+                f'<rect class="cell-hover" x="{x:.1f}" y="{y:.1f}" '
+                f'width="{w:.2f}" height="{bar_h}" fill="{color}"'
+                f"{stroke}>{tip}</rect>"
+            )
+    axis_y = top + nproc * row_h + 8
+    out.append(
+        f'<line x1="{left}" y1="{axis_y}" x2="{left + plot_w}" '
+        f'y2="{axis_y}" stroke="var(--baseline)"/>'
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = left + frac * plot_w
+        out.append(
+            f'<text class="axis-label" x="{x}" y="{axis_y + 16}" '
+            f'text-anchor="middle">{tmax * frac:.3g}</text>'
+        )
+    out.append(
+        f'<text class="axis-label" x="{left + plot_w}" y="{axis_y - 6}" '
+        f'text-anchor="end">virtual seconds</text>'
+    )
+    out.append("</svg>")
+    return "".join(out)
+
+
+def _critpath_legend() -> str:
+    return '<div class="legend">' + "".join(
+        f'<span><i class="sw" style="background: {color}"></i>{kind}</span>'
+        for kind, color in CRITPATH_COLORS.items()
+    ) + "</div>"
+
+
+def critpath_section_html(cp: dict) -> str:
+    """The "Critical path" section body; ``cp`` is
+    :meth:`repro.obs.critpath.CritPathAnalysis.to_json`."""
+    d = cp["decomposition"]
+    path = cp.get("path")
+    ok_badge = _badge(PASS if d.get("ok") else FAIL)
+    tiles = [
+        (f"{d['makespan']:.3g} s", "makespan"),
+        (f"{d['idle_fraction']:.1%}", "avg idle fraction"),
+        (f"{d['max_residual']:.1e} s", "max residual"),
+    ]
+    if path is not None:
+        tiles += [
+            (f"{path['explained_ratio']:.1%}", "path explains"),
+            (str(len(path["hops"])), "cross-rank hops"),
+        ]
+    tiles_html = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="l">{_esc(label)}</div></div>'
+        for v, label in tiles
+    )
+    parts = [
+        "<h2>Critical path</h2>",
+        '<p class="caption">Exact per-rank time decomposition '
+        "(compute / comm / blocked / idle sums to the makespan per rank; "
+        f"see docs/OBSERVABILITY.md#critical-path) {ok_badge}</p>",
+        f'<div class="tiles">{tiles_html}</div>',
+    ]
+    chains = cp.get("chains")
+    if chains:
+        parts.append(_critpath_legend())
+        parts.append(
+            critpath_waterfall_svg(
+                chains,
+                float(d["makespan"]),
+                path.get("segments") if path else None,
+            )
+        )
+        parts.append(
+            '<p class="caption">Outlined segments form the chain that '
+            "bounds the makespan.</p>"
+        )
+    if path is not None:
+        blame_rows = "".join(
+            f"<tr><td>{_esc(b['kind'])}</td>"
+            f"<td>{b['seconds']:.6g}</td>"
+            f"<td>{b['seconds'] / d['makespan']:.1%}</td>"
+            f"<td>{b['count']}</td></tr>"
+            for b in path["blame"]
+        )
+        parts.append(
+            "<h2>Blame table</h2>"
+            '<p class="caption">Critical-path seconds by segment kind '
+            "&mdash; shrinking the top row is the only way to shrink the "
+            "makespan.</p>"
+            "<table><thead><tr><th>kind</th><th>seconds</th>"
+            "<th>share of makespan</th><th>segments</th></tr></thead>"
+            f"<tbody>{blame_rows}</tbody></table>"
+        )
+    whatifs = cp.get("whatifs") or []
+    if whatifs:
+        def _w_badge(v: str) -> str:
+            if v == "PASS":
+                return _badge(PASS)
+            if v == "WARN":
+                return _badge(WARN)
+            if v == "FAIL":
+                return _badge(FAIL)
+            return '<span class="badge">projected</span>'
+
+        rows = ""
+        for w in whatifs:
+            resim = (
+                f"{w['resim_makespan']:.6g}"
+                if w.get("resim_makespan") is not None
+                else "&mdash;"
+            )
+            err = (
+                f"{w['rel_err']:.1%}"
+                if w.get("rel_err") is not None
+                else "&mdash;"
+            )
+            rows += (
+                f"<tr><td>{_esc(w['name'])}"
+                f'<div class="caption">{_esc(w["description"])}</div></td>'
+                f"<td>{w['speedup']:.2f}&times;</td>"
+                f"<td>{w['projected_makespan']:.6g}</td>"
+                f"<td>{resim}</td><td>{err}</td>"
+                f"<td>{_w_badge(w['verdict'])}</td></tr>"
+            )
+        parts.append(
+            "<h2>What-if projections</h2>"
+            '<p class="caption">Differential replay of the recorded '
+            "per-rank structure under perturbed parameters; cross-checked "
+            "scenarios carry the projection-vs-resimulation error "
+            "(&le;15% pass, &le;30% warn).</p>"
+            "<table><thead><tr><th>scenario</th><th>speedup</th>"
+            "<th>projected (s)</th><th>re-simulated (s)</th>"
+            "<th>error</th><th></th></tr></thead>"
+            f"<tbody>{rows}</tbody></table>"
+        )
+    ranks = d.get("ranks") or []
+    if ranks:
+        rank_rows = "".join(
+            f"<tr><td>r{r['proc']}</td><td>{r['compute']:.6g}</td>"
+            f"<td>{r['comm_total']:.6g}</td><td>{r['blocked']:.6g}</td>"
+            f"<td>{r['idle']:.6g}</td><td>{r['end']:.6g}</td>"
+            f"<td>{r['residual']:.2e}</td></tr>"
+            for r in ranks
+        )
+        parts.append(
+            "<details><summary>per-rank decomposition</summary>"
+            "<table><thead><tr><th>rank</th><th>compute (s)</th>"
+            "<th>comm (s)</th><th>blocked (s)</th><th>idle (s)</th>"
+            "<th>end (s)</th><th>residual</th></tr></thead>"
+            f"<tbody>{rank_rows}</tbody></table></details>"
+        )
+    return "".join(parts)
+
+
+def render_critpath_report(analysis: Any) -> str:
+    """Standalone HTML page for one
+    :class:`~repro.obs.critpath.CritPathAnalysis` (``repro analyze
+    --report``)."""
+    cp = analysis.to_json() if hasattr(analysis, "to_json") else analysis
+    title = (
+        f"critpath-{cp.get('molecule') or 'run'}-{cp.get('cores', 0)}c"
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<main>
+<h1>Critical-path analysis: {_esc(str(cp.get('molecule') or '?'))}</h1>
+<p class="subtitle">{_esc(str(cp.get('algorithm', 'gtfock')))} @
+{cp.get('cores', 0)} simulated cores ({cp.get('nproc', 0)} ranks)</p>
+<section>
+{critpath_section_html(cp)}
+</section>
+<footer>self-contained report &mdash; no external assets; generated by
+the repro critical-path analyzer (see docs/OBSERVABILITY.md)</footer>
+</main>
+</body>
+</html>
+"""
+
+
 # -- the report --------------------------------------------------------------
 
 
@@ -587,6 +843,9 @@ class RunReport:
     phases: list[dict] | None = None
     #: cProfile top-N (``HotspotProfile.to_json()``); None unless captured
     hotspots: dict | None = None
+    #: critical-path analysis (``CritPathAnalysis.to_json()``) when the
+    #: build filled a :class:`~repro.fock.simulate.SimCapture`
+    critpath: dict | None = None
 
     @property
     def load_balance(self) -> float:
@@ -688,6 +947,14 @@ def render_report(r: RunReport) -> str:
             + "</section>"
         )
 
+    critpath_html = ""
+    path_segments = None
+    if r.critpath is not None:
+        critpath_html = (
+            "<section>" + critpath_section_html(r.critpath) + "</section>"
+        )
+        path_segments = (r.critpath.get("path") or {}).get("segments")
+
     ops_chans = [c for c in chans if np.any(r.flight.per_rank(c, "ops"))]
     ops_html = ""
     if ops_chans:
@@ -736,8 +1003,9 @@ equal the run's Table VI counters exactly.</p>
 <h2>Steal-event timeline</h2>
 <p class="caption">Each steal connects its victim (open marker) to the
 thief (filled marker) at the virtual time it happened; the gray track
-shows how long each rank stayed busy.</p>
-{steal_timeline_svg(r.steals, r.finish_time, r.nproc)}
+shows how long each rank stayed busy{
+    "; the thick overlay is the critical path" if path_segments else ""}.</p>
+{steal_timeline_svg(r.steals, r.finish_time, r.nproc, path=path_segments)}
 <details><summary>table view</summary>
 <table><thead><tr><th>t (s)</th><th>thief</th><th>victim</th>
 <th>tasks</th></tr></thead><tbody>
@@ -770,6 +1038,8 @@ measurements; a metric warns/fails when measured/model (folded to
 {validation_table_html(r.validation)}
 {notes_html}
 </section>
+
+{critpath_html}
 
 {recovery_html}
 
@@ -1019,8 +1289,13 @@ def run_report(
         tracer = Tracer("repro-report")
     else:
         tracer = None
+    from repro.fock.simulate import SimCapture
+    from repro.obs.critpath import analyze
+
+    capture = SimCapture()
     result = gtfock_build(
-        engine, hcore, density, nproc, tau=tau, config=config, tracer=tracer
+        engine, hcore, density, nproc, tau=tau, config=config, tracer=tracer,
+        capture=capture,
     )
     stats = result.stats
     # the invariant the whole report stands on: per-rank channel sums
@@ -1028,6 +1303,11 @@ def run_report(
     stats.flight.check_against(stats)
     export_commstats(stats)
     stats.flight.export_metrics()
+
+    # critical-path analysis of the same build (projection-only what-ifs:
+    # re-simulating a numeric build would recompute real ERIs)
+    analysis = analyze(capture, resim=False)
+    analysis.export_metrics()
 
     s_measured = result.outcome.avg_steals_per_proc
     model = PerfModel.from_screening(result.screen, config, s=s_measured)
@@ -1060,6 +1340,7 @@ def run_report(
         ],
         scf_guard=guard_summary,
         phases=phases,
+        critpath=analysis.to_json(),
     )
     return report, result
 

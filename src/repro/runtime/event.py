@@ -22,15 +22,26 @@ class EventQueue:
     underlying completion message (fault injection supplies
     :meth:`~repro.runtime.faults.FaultState.perturb_event` here).  A
     perturbation may only postpone an event, never move it earlier.
+
+    ``observer`` is an optional dependency-capture hook invoked as
+    ``observer(action, time, key)`` with ``action`` one of
+    ``"schedule"`` / ``"cancel"`` / ``"pop"``.  The critical-path
+    analyzer uses it to record the event order a run actually resolved,
+    so tests can assert the resolution is deterministic (equal
+    timestamps break ties FIFO via the internal sequence counter) and
+    independent of heap internals.
     """
 
     def __init__(
-        self, perturb: Callable[[float, Any], float] | None = None
+        self,
+        perturb: Callable[[float, Any], float] | None = None,
+        observer: Callable[[str, float, Any], None] | None = None,
     ) -> None:
         self._heap: list[tuple[float, int, Any, int]] = []
         self._version: dict[Any, int] = {}
         self._counter = itertools.count()
         self._perturb = perturb
+        self._observer = observer
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -53,16 +64,22 @@ class EventQueue:
         version = self._version.get(key, 0) + 1
         self._version[key] = version
         heapq.heappush(self._heap, (time, next(self._counter), key, version))
+        if self._observer is not None:
+            self._observer("schedule", time, key)
 
     def cancel(self, key: Any) -> None:
         """Invalidate any pending event for ``key``."""
         if key in self._version:
             self._version[key] += 1
+            if self._observer is not None:
+                self._observer("cancel", 0.0, key)
 
     def pop(self) -> tuple[float, Any] | None:
         """Earliest live event as ``(time, key)``, or None when drained."""
         while self._heap:
             time, _seq, key, version = heapq.heappop(self._heap)
             if self._version.get(key) == version:
+                if self._observer is not None:
+                    self._observer("pop", time, key)
                 return time, key
         return None

@@ -173,6 +173,8 @@ class RHF:
             self.engine.enable_quartet_cache(self.cache_mb)
         if self.integral_store is not None and self.engine.integral_store is None:
             self.engine.attach_store(self.integral_store)
+        store = self.engine.integral_store
+        self._store_warm_at_start = bool(store is not None and store.ready)
         self.nocc = self.molecule.nelectrons // 2
         if self.nocc > self.basis.nbf:
             raise ValueError(
@@ -408,9 +410,28 @@ class RHF:
                 self.engine, h, d, self.tau, threads=self.jk_threads
             )
         e_elec = hf_electronic_energy(h, f, d)
+        eng = self.engine
+        eri_store = {
+            "served": int(
+                eng.quartets_served_from_cache + eng.quartets_served_from_store
+            ),
+            "computed": int(eng.quartets_computed),
+            "from_cache": int(eng.quartets_served_from_cache),
+            "from_store": int(eng.quartets_served_from_store),
+            "warm_start": getattr(self, "_store_warm_at_start", False),
+        }
+        worker_stats = getattr(eng, "last_jk_worker_stats", None) or []
+        balance = None
+        if len(worker_stats) > 1:
+            walls = [s["eri_wall"] + s["jk_wall"] for s in worker_stats]
+            mean = sum(walls) / len(walls)
+            if mean > 0:
+                balance = max(walls) / mean
+        jk_threads = {"workers": len(worker_stats), "balance": balance}
         ledger.add_summary(
             molecule=mol_label, basis=self.basis_name,
             energy=e_elec + enuc, converged=converged, iterations=it,
+            eri_store=eri_store, jk_threads=jk_threads,
         )
         metrics.gauge(
             "repro_scf_converged", "1 if the last SCF run converged",

@@ -216,3 +216,101 @@ class TestDefaultSpecs:
     def test_labels_are_unique(self):
         labels = [s.label for s in DEFAULT_SPECS]
         assert len(labels) == len(set(labels))
+
+
+class TestGradeRuns:
+    """Ledger-summary gates: critpath, warm-store recompute, J/K balance."""
+
+    def _run_dir(self, tmp_path, name, **summary):
+        from repro.obs.manifest import RunLedger
+
+        ledger = RunLedger(
+            tmp_path / name, command="scf",
+            config={"molecule": "water"}, molecule="water",
+        )
+        ledger.add_summary(**summary)
+        ledger.close(0)
+        return ledger
+
+    def _findings(self, tmp_path):
+        from repro.obs.regress import _grade_runs
+
+        return {f.spec.key: f for f in _grade_runs(tmp_path)}
+
+    def test_critpath_decomposition_gate(self, tmp_path):
+        self._run_dir(
+            tmp_path, "good",
+            critpath={"decomposition_ok": True, "max_residual": 0.0},
+        )
+        by_key = self._findings(tmp_path)
+        assert by_key["critpath_decomposition_ok"].status == PASS
+
+    def test_critpath_decomposition_failure_names_residual(self, tmp_path):
+        self._run_dir(
+            tmp_path, "bad",
+            critpath={"decomposition_ok": False, "max_residual": 3e-4},
+        )
+        f = self._findings(tmp_path)["critpath_decomposition_ok"]
+        assert f.status == FAIL
+        assert "3e-04" in f.note or "0.0003" in f.note
+
+    def test_warm_store_with_recomputes_fails(self, tmp_path):
+        self._run_dir(
+            tmp_path, "warm",
+            eri_store={"computed": 12, "warm_start": True},
+        )
+        f = self._findings(tmp_path)["store_zero_recompute"]
+        assert f.status == FAIL
+        assert "12" in f.note
+
+    def test_warm_store_fully_served_passes(self, tmp_path):
+        self._run_dir(
+            tmp_path, "warm",
+            eri_store={"computed": 0, "from_store": 99, "warm_start": True},
+        )
+        assert self._findings(tmp_path)["store_zero_recompute"].status == PASS
+
+    def test_cold_store_not_gated(self, tmp_path):
+        self._run_dir(
+            tmp_path, "cold",
+            eri_store={"computed": 500, "warm_start": False},
+        )
+        assert "store_zero_recompute" not in self._findings(tmp_path)
+
+    def test_jk_worker_balance_grades(self, tmp_path):
+        self._run_dir(
+            tmp_path, "balanced",
+            jk_threads={"workers": 4, "balance": 1.1},
+        )
+        assert self._findings(tmp_path)["jk_worker_balance"].status == PASS
+
+    def test_jk_worker_imbalance_warns_then_fails(self, tmp_path):
+        self._run_dir(
+            tmp_path, "skewed", jk_threads={"workers": 4, "balance": 2.0},
+        )
+        assert self._findings(tmp_path)["jk_worker_balance"].status == WARN
+        self._run_dir(
+            tmp_path, "broken", jk_threads={"workers": 4, "balance": 5.0},
+        )
+        from repro.obs.regress import _grade_runs
+
+        balances = sorted(
+            f.latest for f in _grade_runs(tmp_path)
+            if f.spec.key == "jk_worker_balance"
+        )
+        assert balances == [2.0, 5.0]
+        worst = [
+            f for f in _grade_runs(tmp_path)
+            if f.spec.key == "jk_worker_balance" and f.latest == 5.0
+        ][0]
+        assert worst.status == FAIL
+
+    def test_serial_jk_not_gated(self, tmp_path):
+        self._run_dir(
+            tmp_path, "serial", jk_threads={"workers": 0, "balance": None},
+        )
+        assert "jk_worker_balance" not in self._findings(tmp_path)
+
+    def test_critpath_family_in_default_specs(self):
+        families = {s.benchmark for s in DEFAULT_SPECS}
+        assert "fock_critpath" in families

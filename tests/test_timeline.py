@@ -1,8 +1,9 @@
-"""Tests for execution-timeline recording."""
+"""Tests for execution-timeline recording and the discrete-event core."""
 
 import pytest
 
 from repro.fock.timeline import Span, Timeline, traced_work_stealing
+from repro.runtime.event import EventQueue
 
 
 class TestTimeline:
@@ -117,3 +118,93 @@ class TestRenderEdgeCases:
         lines = tl.render(width=12).splitlines()
         assert len(lines) == 4  # p0..p2 + axis
         assert set(lines[0].split("|")[1]) == {"."}
+
+    def test_blocked_span_renders_tilde(self):
+        tl = Timeline(
+            spans=[
+                Span(0, 0.0, 2.0, "work"),
+                Span(0, 2.0, 4.0, "blocked", "await orphans"),
+            ]
+        )
+        row = tl.render(width=20).splitlines()[0]
+        assert "~" in row
+
+
+class TestEventQueue:
+    def test_equal_timestamps_pop_fifo(self):
+        q = EventQueue()
+        keys = ["c", "a", "b", "z", "m"]
+        for k in keys:
+            q.schedule(1.0, k)
+        popped = []
+        while (ev := q.pop()) is not None:
+            popped.append(ev[1])
+        # insertion order, NOT heap/lexicographic order
+        assert popped == keys
+
+    def test_pop_order_independent_of_interleaving(self):
+        # scheduling distinct times out of order still resolves by time,
+        # with FIFO only breaking exact ties
+        q = EventQueue()
+        q.schedule(3.0, "late")
+        q.schedule(1.0, "tie1")
+        q.schedule(2.0, "mid")
+        q.schedule(1.0, "tie2")
+        order = []
+        while (ev := q.pop()) is not None:
+            order.append(ev[1])
+        assert order == ["tie1", "tie2", "mid", "late"]
+
+    def test_reschedule_invalidates_previous(self):
+        q = EventQueue()
+        q.schedule(1.0, "p0")
+        q.schedule(5.0, "p0")  # supersedes the 1.0 event
+        assert q.pop() == (5.0, "p0")
+        assert q.pop() is None
+
+    def test_cancel_drops_pending_event(self):
+        q = EventQueue()
+        q.schedule(1.0, "p0")
+        q.schedule(2.0, "p1")
+        q.cancel("p0")
+        assert q.pop() == (2.0, "p1")
+        assert q.pop() is None
+
+    def test_observer_sees_full_resolution_history(self):
+        log = []
+        q = EventQueue(observer=lambda act, t, key: log.append((act, t, key)))
+        q.schedule(1.0, "a")
+        q.schedule(1.0, "b")
+        q.cancel("a")
+        q.schedule(2.0, "a")
+        while q.pop() is not None:
+            pass
+        assert log == [
+            ("schedule", 1.0, "a"),
+            ("schedule", 1.0, "b"),
+            ("cancel", 0.0, "a"),
+            ("schedule", 2.0, "a"),
+            ("pop", 1.0, "b"),
+            ("pop", 2.0, "a"),
+        ]
+
+    def test_observer_never_sees_stale_pops(self):
+        pops = []
+        q = EventQueue(
+            observer=lambda act, t, key: act == "pop" and pops.append(key)
+        )
+        q.schedule(1.0, "p0")
+        q.schedule(4.0, "p0")
+        q.schedule(2.0, "p1")
+        while q.pop() is not None:
+            pass
+        assert pops == ["p1", "p0"]  # the stale (1.0, p0) never surfaces
+
+    def test_perturbation_may_only_delay(self):
+        q = EventQueue(perturb=lambda t, key: t - 0.5)
+        with pytest.raises(ValueError):
+            q.schedule(1.0, "p0")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, "p0")
