@@ -1,0 +1,97 @@
+"""Service chaos benchmark: crash-tolerant SCF job throughput.
+
+Runs the seeded service-chaos harness (a durable queue of identical
+water SCF jobs on a small worker pool, with SIGKILLs injected while
+leases are held) and records what crash tolerance costs: end-to-end
+jobs/min with recovery overhead included, plus the correctness gates
+(all jobs done, zero double records, every energy bitwise-matching the
+fault-free baseline).  Each full run appends one ``fock_service``
+datapoint to ``BENCH_service.json``; ``--quick`` skips the history
+file and shrinks the run for CI.
+
+The chaos invariants are asserted on every run -- a throughput number
+from a run that lost or double-recorded a job would be meaningless.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+
+from repro.bench.record import append_history
+from repro.service.chaos import run_service_chaos
+
+HISTORY_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+)
+DESCRIPTION = (
+    "crash-tolerant SCF service trajectory: seeded worker-kill chaos "
+    "runs (see docs/ROBUSTNESS.md#service-resilience)"
+)
+
+
+def run_service_bench(
+    njobs: int = 8, workers: int = 3, kills: int = 2, seed: int = 0
+) -> tuple[dict, object]:
+    """One measurement: a seeded service-chaos run, summarized."""
+    queue = tempfile.mkdtemp(prefix="repro-bench-service-")
+    cres = run_service_chaos(
+        queue, njobs=njobs, workers=workers, kills=kills, seed=seed,
+        molecule="water", basis="6-31g",
+    )
+    entry = {
+        "benchmark": "fock_service",
+        "molecule": "water",
+        "basis": "6-31g",
+        "njobs": cres.njobs,
+        "workers": cres.workers,
+        "seed": cres.seed,
+        "kills_done": cres.kills_done,
+        "wall_s": round(cres.wall_s, 3),
+        "jobs_per_min": round(cres.jobs_per_min, 2),
+        "max_energy_error": cres.max_energy_error,
+        "requeues": cres.requeues,
+        "double_records": cres.double_records,
+        "worker_restarts": cres.worker_restarts,
+        "all_done": cres.all_done,
+        "passed": cres.passed,
+    }
+    return entry, cres
+
+
+def check_result(cres) -> None:
+    assert cres.passed, (
+        f"service chaos gate violated: done={cres.counts.get('done', 0)}"
+        f"/{cres.njobs}, double_records={cres.double_records}, "
+        f"max |dE|={cres.max_energy_error:.3e}"
+    )
+    assert cres.kills_done == cres.kills_planned, "kills missed the window"
+
+
+def test_bench_service(benchmark, emit):
+    entry, cres = benchmark.pedantic(run_service_bench, rounds=1,
+                                     iterations=1)
+    emit("\n".join(cres.summary_lines()))
+    check_result(cres)
+    append_history(entry, HISTORY_PATH, description=DESCRIPTION)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    njobs, kills, seed = (4, 1, 0) if quick else (8, 2, 0)
+    for i, a in enumerate(argv):
+        if a == "--seed" and i + 1 < len(argv):
+            seed = int(argv[i + 1])
+    entry, cres = run_service_bench(njobs=njobs, kills=kills, seed=seed)
+    for line in cres.summary_lines():
+        print(line)
+    check_result(cres)
+    if not quick:
+        append_history(entry, HISTORY_PATH, description=DESCRIPTION)
+        print(f"appended datapoint to {HISTORY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -65,6 +65,21 @@ SCHEMAS: dict[str, dict[str, type]] = {
         "fault_slowdown": float,
         "passed": bool,
     },
+    # crash-tolerant SCF service: one seeded chaos run (worker kills
+    # mid-iteration) per datapoint -- throughput plus the correctness
+    # gates (BENCH_service.json)
+    "fock_service": {
+        "njobs": float,
+        "workers": float,
+        "kills_done": float,
+        "wall_s": float,
+        "jobs_per_min": float,
+        "max_energy_error": float,
+        "requeues": float,
+        "double_records": float,
+        "all_done": bool,
+        "passed": bool,
+    },
     "scf_guard": {
         "wall_off_s": float,
         "wall_on_s": float,

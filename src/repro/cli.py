@@ -16,7 +16,16 @@ analyze MOLECULE [--cores N]    critical-path analysis of a simulated
                                 projections (``--check`` gates the
                                 invariants -- the CI gate)
 chaos MOLECULE [--seed N]       fault-injected build, verified vs fault-free
-                                (``--family scf`` = NaN/Inf ERI corruption)
+                                (``--family scf`` = NaN/Inf ERI corruption;
+                                ``--family service`` = seeded SIGKILLs of
+                                real queue workers, jobs must still finish)
+serve [--workers N] [--drain]   run the SCF-as-a-service worker pool over
+                                a durable job queue (``--queue DIR``)
+submit MOLECULE [--basis NAME]  enqueue an SCF job (returns its job id)
+status [--json PATH]            job table + per-state counts of the queue
+cancel JOB_ID                   cancel a queued/leased/running job
+drain [--timeout S]             wait until the queue is empty; exit 0 only
+                                if every job ended ``done``
 torture [--quick]               SCF torture suite under the convergence guard
 perf profile [MOLECULE]         profiled RHF: phase table + cProfile hotspots
 perf check [--quick]            grade the BENCH_*.json perf trajectories
@@ -327,6 +336,192 @@ def _run_scf_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    result = serve(
+        args.queue,
+        workers=args.workers,
+        poll_s=args.poll,
+        drain=args.drain,
+        grace_s=args.grace,
+        wall_limit_s=args.wall_limit,
+        verbose=True,
+    )
+    for line in result.summary_lines():
+        print(line)
+    if args.drain and not result.drained:
+        print("serve: queue not drained (wall limit hit?)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    from repro.service import JobStore
+
+    spec: dict = {"kind": "scf", "molecule": args.molecule, "basis": args.basis}
+    if args.jk_threads is not None:
+        spec["jk_threads"] = args.jk_threads
+    if args.cache_mb is not None:
+        spec["cache_mb"] = args.cache_mb
+    if args.store:
+        spec["store_dir"] = args.store
+    if args.guard:
+        spec["guard"] = True
+    if args.max_iter is not None:
+        spec["max_iter"] = args.max_iter
+    store = JobStore(args.queue)
+    job = store.submit(
+        spec,
+        priority=args.priority,
+        max_attempts=args.max_attempts,
+        timeout_s=args.timeout,
+        lease_s=args.lease,
+    )
+    print(f"submitted job {job.id}: {args.molecule}/{args.basis} "
+          f"(priority {job.priority}, dir {job.job_dir})")
+    return 0
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import get_metrics
+    from repro.obs.metrics import export_service
+    from repro.service import JobStore
+
+    store = JobStore(args.queue)
+    jobs = store.jobs()
+    if jobs:
+        print(f"{'id':>5} {'state':<12} {'att':>3} {'job':<22} "
+              f"{'owner':<8} result/error")
+        for job in jobs:
+            what = job.spec.get("molecule", job.spec.get("kind", "?"))
+            basis = job.spec.get("basis", "")
+            label = f"{what}/{basis}" if basis else str(what)
+            tail = ""
+            if job.result is not None and "energy" in job.result:
+                tail = f"E = {job.result['energy']:.10f}"
+            elif job.result is not None:
+                tail = "ok"
+            elif job.error:
+                tail = job.error.strip().splitlines()[-1][:50]
+            print(f"{job.id:>5} {job.state:<12} {job.attempts:>3} "
+                  f"{label:<22} {job.lease_owner or '-':<8} {tail}")
+    counts = store.counts()
+    print("counts:", ", ".join(f"{k} {v}" for k, v in counts.items() if v)
+          or "empty queue")
+    export_service(store.stats(), registry=get_metrics())
+    if args.json:
+        payload = {
+            "counts": counts,
+            "events": store.event_counts(),
+            "jobs": [
+                {
+                    "id": j.id, "state": j.state, "attempts": j.attempts,
+                    "spec": j.spec, "result": j.result, "error": j.error,
+                    "job_dir": j.job_dir,
+                }
+                for j in jobs
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"status written to {args.json}")
+    return 0
+
+
+def _run_cancel(args: argparse.Namespace) -> int:
+    from repro.service import JobStore
+
+    store = JobStore(args.queue)
+    try:
+        job = store.get(args.job_id)
+    except KeyError as exc:
+        print(f"repro cancel: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if store.cancel(args.job_id):
+        print(f"cancelled job {args.job_id}")
+        return 0
+    print(
+        f"repro cancel: job {args.job_id} already terminal ({job.state})",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _run_drain(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service import JobStore
+
+    store = JobStore(args.queue)
+    deadline = _time.time() + args.timeout
+    while not store.drained():
+        if _time.time() > deadline:
+            counts = store.counts()
+            print(
+                "drain: timed out with jobs still in flight: "
+                + ", ".join(f"{k} {v}" for k, v in counts.items() if v),
+                file=sys.stderr,
+            )
+            return 2
+        _time.sleep(args.poll)
+    counts = store.counts()
+    print("drained:", ", ".join(f"{k} {v}" for k, v in counts.items() if v)
+          or "empty queue")
+    bad = counts["failed"] + counts["quarantined"]
+    if bad:
+        print(
+            f"drain: {bad} job(s) ended failed/quarantined "
+            "(see 'repro status')",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_service_chaos(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.service import run_service_chaos
+
+    queue = args.queue or tempfile.mkdtemp(prefix="repro-service-chaos-")
+    cres = run_service_chaos(
+        queue,
+        njobs=args.jobs,
+        workers=args.workers,
+        kills=args.kills,
+        seed=args.seed,
+        molecule=args.molecule,
+        basis=args.service_basis,
+        tolerance=args.tolerance,
+        lease_s=args.lease,
+    )
+    print(
+        f"service chaos run: {cres.njobs} jobs on {cres.workers} workers, "
+        f"queue {queue}"
+    )
+    for line in cres.summary_lines():
+        print(f"  {line}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(cres.to_json(), fh, indent=2, sort_keys=True)
+        print(f"chaos summary written to {args.json}")
+    if not cres.passed:
+        print(
+            "service chaos invariant FAILED: "
+            f"{cres.counts.get('done', 0)}/{cres.njobs} done, "
+            f"max |dE| {cres.max_energy_error:.3e} "
+            f"(tolerance {cres.tolerance:.0e}), "
+            f"{cres.double_records} double records",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -338,6 +533,8 @@ def _run_chaos(args: argparse.Namespace) -> int:
 
     if args.family == "scf":
         return _run_scf_chaos(args)
+    if args.family == "service":
+        return _run_service_chaos(args)
 
     # capture the faulted run for the report's embedded trace; reuse an
     # installed (--trace) tracer so both outputs describe the same run
@@ -416,7 +613,9 @@ def _run_info() -> int:
 
 #: default BENCH history files graded by ``repro perf check`` (cwd-relative:
 #: run from the repo root, or point --history elsewhere)
-_DEFAULT_HISTORIES = ("BENCH_eri.json", "BENCH_fock.json")
+_DEFAULT_HISTORIES = (
+    "BENCH_eri.json", "BENCH_fock.json", "BENCH_service.json",
+)
 
 
 def _run_perf_profile(args: argparse.Namespace) -> int:
@@ -689,10 +888,37 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("--basis", default="sto-3g")
     p_chaos.add_argument("--nproc", type=int, default=4)
     p_chaos.add_argument(
-        "--family", choices=["runtime", "scf"], default="runtime",
+        "--family", choices=["runtime", "scf", "service"], default="runtime",
         help="runtime = rank deaths / lossy ops on the simulated machine; "
         "scf = seeded NaN/Inf corruption of batched ERI blocks, rescued "
-        "by the convergence guard's sentinel",
+        "by the convergence guard's sentinel; service = seeded SIGKILLs "
+        "of real queue workers -- every job must still reach done with "
+        "its fault-free energy",
+    )
+    p_chaos.add_argument(
+        "--jobs", type=int, default=8,
+        help="(service family) jobs to submit",
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=3,
+        help="(service family) worker processes in the pool",
+    )
+    p_chaos.add_argument(
+        "--kills", type=int, default=2,
+        help="(service family) seeded worker SIGKILLs to inject",
+    )
+    p_chaos.add_argument(
+        "--queue", default=None, metavar="DIR",
+        help="(service family) queue directory (default: a fresh tempdir)",
+    )
+    p_chaos.add_argument(
+        "--lease", type=float, default=2.0, metavar="S",
+        help="(service family) job lease duration in seconds",
+    )
+    p_chaos.add_argument(
+        "--service-basis", default="6-31g", metavar="NAME",
+        help="(service family) basis for the submitted jobs (6-31g "
+        "default: jobs must outlive the kill window to be interesting)",
     )
     p_chaos.add_argument(
         "--quartet-nan-rate", type=float, default=0.05,
@@ -721,6 +947,113 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write a JSON summary (errors + recovery overhead)",
+    )
+
+    # -- SCF-as-a-service (docs/ROBUSTNESS.md "Service resilience") ------
+    def _queue_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--queue", default="repro-queue", metavar="DIR",
+            help="queue directory (holds queue.db + per-job artifact dirs)",
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the durable-queue worker pool (leases, retries, "
+        "timeouts; see docs/ROBUSTNESS.md)",
+        parents=[obs_flags],
+    )
+    _queue_flag(p_serve)
+    p_serve.add_argument(
+        "--workers", type=int, default=3, metavar="N",
+        help="worker processes in the pool",
+    )
+    p_serve.add_argument(
+        "--drain", action="store_true",
+        help="exit once every job is terminal (instead of serving forever)",
+    )
+    p_serve.add_argument(
+        "--poll", type=float, default=0.25, metavar="S",
+        help="supervisor tick / worker idle-claim interval",
+    )
+    p_serve.add_argument(
+        "--grace", type=float, default=2.0, metavar="S",
+        help="SIGTERM-to-SIGKILL grace window for timed-out workers",
+    )
+    p_serve.add_argument(
+        "--wall-limit", type=float, default=None, metavar="S",
+        help="hard bound on the serve loop (CI safety net)",
+    )
+
+    p_sub = sub.add_parser(
+        "submit", help="enqueue an SCF job on the durable queue",
+        parents=[obs_flags],
+    )
+    p_sub.add_argument("molecule")
+    p_sub.add_argument("--basis", default="sto-3g")
+    _queue_flag(p_sub)
+    p_sub.add_argument("--priority", type=int, default=0)
+    p_sub.add_argument(
+        "--max-attempts", type=int, default=5, metavar="N",
+        help="attempts before the job is quarantined",
+    )
+    p_sub.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="per-job wall-clock budget (exceeding it kills the worker)",
+    )
+    p_sub.add_argument(
+        "--lease", type=float, default=30.0, metavar="S",
+        help="lease duration; renewed by heartbeat every SCF iteration",
+    )
+    p_sub.add_argument("--max-iter", type=int, default=None)
+    p_sub.add_argument(
+        "--jk-threads", type=int, default=None, metavar="N",
+        help="threaded J/K contraction width (dropped to 1 on "
+        "MemoryError retries)",
+    )
+    p_sub.add_argument(
+        "--cache-mb", type=float, default=None, metavar="MB",
+        help="ERI quartet cache budget (released on MemoryError retries)",
+    )
+    p_sub.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="shared stored-integral directory (cross-process file "
+        "locking keeps concurrent fills safe)",
+    )
+    p_sub.add_argument(
+        "--guard", action="store_true", help="arm the convergence guard"
+    )
+
+    p_stat = sub.add_parser(
+        "status", help="job table + per-state counts of the durable queue",
+        parents=[obs_flags],
+    )
+    _queue_flag(p_stat)
+    p_stat.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full job table as JSON",
+    )
+
+    p_cancel = sub.add_parser(
+        "cancel", help="cancel a queued/leased/running job",
+        parents=[obs_flags],
+    )
+    p_cancel.add_argument("job_id", type=int)
+    _queue_flag(p_cancel)
+
+    p_drain = sub.add_parser(
+        "drain",
+        help="wait until the queue is empty; exit 0 only if every job "
+        "ended done",
+        parents=[obs_flags],
+    )
+    _queue_flag(p_drain)
+    p_drain.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="give up (exit 2) after this long",
+    )
+    p_drain.add_argument(
+        "--poll", type=float, default=0.5, metavar="S",
+        help="poll interval",
     )
 
     p_tort = sub.add_parser(
@@ -881,6 +1214,16 @@ def main(argv: list[str] | None = None) -> int:
             rc = _run_analyze(args)
         elif args.command == "chaos":
             rc = _run_chaos(args)
+        elif args.command == "serve":
+            rc = _run_serve(args)
+        elif args.command == "submit":
+            rc = _run_submit(args)
+        elif args.command == "status":
+            rc = _run_status(args)
+        elif args.command == "cancel":
+            rc = _run_cancel(args)
+        elif args.command == "drain":
+            rc = _run_drain(args)
         elif args.command == "torture":
             rc = _run_torture(args)
         elif args.command == "perf":

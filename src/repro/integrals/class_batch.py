@@ -35,6 +35,7 @@ pins <= 1e-12 on J/K vs the seed kernel).
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -514,6 +515,25 @@ def resolve_jk_threads(threads: int | None) -> int:
     return max(1, int(threads))
 
 
+#: set by :func:`interrupt_jk_threads` (a dying worker's SIGTERM handler):
+#: threaded J/K workers stop between chunks instead of draining their
+#: whole queue while the process is trying to exit
+_JK_INTERRUPT = threading.Event()
+
+
+def interrupt_jk_threads() -> None:
+    """Ask in-flight threaded J/K workers to stop at the next chunk edge."""
+    _JK_INTERRUPT.set()
+
+
+def clear_jk_interrupt() -> None:
+    _JK_INTERRUPT.clear()
+
+
+class JKInterrupted(RuntimeError):
+    """A threaded J/K contraction was interrupted mid-build (job teardown)."""
+
+
 def _run_chunks(engine, density, chunks, starts, store, cache):
     """One worker's share: private J/K buffers + per-phase wall/cpu."""
     n = density.shape[0]
@@ -525,6 +545,8 @@ def _run_chunks(engine, density, chunks, starts, store, cache):
         "rescued": 0,
     }
     for batch, lo, hi in chunks:
+        if _JK_INTERRUPT.is_set():
+            raise JKInterrupted("threaded J/K interrupted between chunks")
         t0, c0 = time.perf_counter(), time.thread_time()
         blocks, counts = _resolve_chunk(engine, batch, lo, hi, store, cache)
         t1, c1 = time.perf_counter(), time.thread_time()

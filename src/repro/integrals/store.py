@@ -24,12 +24,25 @@ only).  The store sits *under* the LRU quartet cache in
 :meth:`repro.integrals.engine.ERIEngine.quartet` and under the
 class-batched chunk resolver, so direct-SCF iterations >= 2 recompute
 zero ERIs (tracked by ``quartets_served_from_store``).
+
+Cross-process safety (service workers share store directories):
+
+* every disk transition (attach / finalize / invalidate) runs under an
+  advisory ``flock`` on ``<store>/.lock``;
+* finalize publishes atomically -- data files are staged as ``*.tmp``
+  and ``os.replace``'d into place, with ``manifest.json`` written
+  **last**, so a crash mid-finalize leaves a store with no (or the old)
+  manifest, never a manifest describing partial data;
+* a process that acquires the finalize lock and finds a valid store
+  already on disk re-attaches to it instead of clobbering it.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import os
 import threading
 import warnings
 from datetime import datetime, timezone
@@ -39,10 +52,16 @@ import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
 STORE_VERSION = 1
 _MANIFEST = "manifest.json"
 _INDEX = "index.npz"
 _BLOCKS = "blocks.bin"
+_LOCK = ".lock"
 
 
 def basis_fingerprint(basis: BasisSet) -> str:
@@ -91,7 +110,34 @@ class ERIStore:
         self._flat: np.memmap | None = None
         self._pending: dict[int, np.ndarray] = {}  # packed key -> flat block
         self._lock = threading.Lock()
+        self._flock_depth = 0
         self._nshells = len(basis.shells)
+
+    @contextlib.contextmanager
+    def _disk_lock(self):
+        """Advisory cross-process lock on the store directory.
+
+        Reentrant within this instance (``flock`` on a second fd from
+        the same process would self-deadlock).  Closing the fd releases
+        the lock, so a crashed holder never wedges other processes.
+        """
+        if self._flock_depth > 0:
+            self._flock_depth += 1
+            try:
+                yield
+            finally:
+                self._flock_depth -= 1
+            return
+        self.path.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path / _LOCK, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            self._flock_depth = 1
+            yield
+        finally:
+            self._flock_depth = 0
+            os.close(fd)
 
     # -- key packing --------------------------------------------------------
 
@@ -115,29 +161,31 @@ class ERIStore:
         back to the filling state.
         """
         self.path.mkdir(parents=True, exist_ok=True)
-        manifest_path = self.path / _MANIFEST
-        if manifest_path.exists():
-            try:
-                manifest = json.loads(manifest_path.read_text())
-            except (OSError, json.JSONDecodeError):
-                manifest = None
-            if (
-                manifest is not None
-                and manifest.get("version") == STORE_VERSION
-                and manifest.get("basis_sha256") == self.fingerprint
-                and (self.path / _INDEX).exists()
-                and (self.path / _BLOCKS).exists()
-            ):
-                self._attach(manifest)
-                return self
-            self.invalidate(
-                "basis fingerprint mismatch"
-                if manifest is not None
-                else "unreadable manifest"
-            )
-        self.filling = True
-        self.ready = False
+        with self._disk_lock():
+            if (self.path / _MANIFEST).exists():
+                manifest = self._load_valid_manifest()
+                if manifest is not None:
+                    self._attach(manifest)
+                    return self
+                self.invalidate("stale or unreadable manifest")
+            self.filling = True
+            self.ready = False
         return self
+
+    def _load_valid_manifest(self) -> dict | None:
+        """The on-disk manifest iff it matches this basis and is complete."""
+        try:
+            manifest = json.loads((self.path / _MANIFEST).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            manifest.get("version") == STORE_VERSION
+            and manifest.get("basis_sha256") == self.fingerprint
+            and (self.path / _INDEX).exists()
+            and (self.path / _BLOCKS).exists()
+        ):
+            return manifest
+        return None
 
     def _attach(self, manifest: dict) -> None:
         with np.load(self.path / _INDEX) as idx:
@@ -161,11 +209,14 @@ class ERIStore:
         self._keys = None
         self._offsets = None
         self.manifest = None
-        for name in (_MANIFEST, _INDEX, _BLOCKS):
-            try:
-                (self.path / name).unlink(missing_ok=True)
-            except OSError:
-                pass
+        with self._disk_lock():
+            # manifest first: a crash mid-invalidate must never leave a
+            # manifest describing files that are already gone
+            for name in (_MANIFEST, _INDEX, _BLOCKS):
+                try:
+                    (self.path / name).unlink(missing_ok=True)
+                except OSError:
+                    pass
         self.ready = False
         self.filling = True
         self._pending.clear()
@@ -198,7 +249,15 @@ class ERIStore:
                 self._pending.setdefault(int(key), flat[i].copy())
 
     def finalize(self, tau: float | None = None) -> None:
-        """Write pending blocks to disk and switch to the ready state."""
+        """Write pending blocks to disk and switch to the ready state.
+
+        Publication is atomic and ordered: ``blocks.bin`` and
+        ``index.npz`` are staged as ``*.tmp`` and ``os.replace``'d into
+        place first; ``manifest.json`` goes last.  A process killed at
+        any point mid-finalize therefore leaves either no manifest
+        (``open_or_fill`` refills from scratch) or a complete store --
+        never a manifest pointing at partial data.
+        """
         with self._lock:
             if not self.filling or not self._pending:
                 return
@@ -208,25 +267,37 @@ class ERIStore:
             offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
             flat = np.concatenate([b for _, b in items])
             self.path.mkdir(parents=True, exist_ok=True)
-            flat.tofile(self.path / _BLOCKS)
-            np.savez(self.path / _INDEX, keys=keys, offsets=offsets,
-                     sizes=sizes)
-            manifest = {
-                "version": STORE_VERSION,
-                "basis_sha256": self.fingerprint,
-                "basis_name": self.basis.name,
-                "tau": None if tau is None else float(tau),
-                "nbf": int(self.basis.nbf),
-                "nshells": self._nshells,
-                "nblocks": int(keys.size),
-                "nelements": int(flat.size),
-                "created": datetime.now(timezone.utc).isoformat(),
-            }
-            (self.path / _MANIFEST).write_text(
-                json.dumps(manifest, indent=2) + "\n"
-            )
-            self._pending.clear()
-            self._attach(manifest)
+            with self._disk_lock():
+                # another process may have finalized while this one was
+                # still filling: attach to its store, don't clobber it
+                existing = self._load_valid_manifest()
+                if existing is not None:
+                    self._pending.clear()
+                    self._attach(existing)
+                    return
+                tmp_blocks = self.path / (_BLOCKS + ".tmp")
+                flat.tofile(tmp_blocks)
+                os.replace(tmp_blocks, self.path / _BLOCKS)
+                tmp_index = self.path / (_INDEX + ".tmp")
+                with open(tmp_index, "wb") as fh:
+                    np.savez(fh, keys=keys, offsets=offsets, sizes=sizes)
+                os.replace(tmp_index, self.path / _INDEX)
+                manifest = {
+                    "version": STORE_VERSION,
+                    "basis_sha256": self.fingerprint,
+                    "basis_name": self.basis.name,
+                    "tau": None if tau is None else float(tau),
+                    "nbf": int(self.basis.nbf),
+                    "nshells": self._nshells,
+                    "nblocks": int(keys.size),
+                    "nelements": int(flat.size),
+                    "created": datetime.now(timezone.utc).isoformat(),
+                }
+                tmp_manifest = self.path / (_MANIFEST + ".tmp")
+                tmp_manifest.write_text(json.dumps(manifest, indent=2) + "\n")
+                os.replace(tmp_manifest, self.path / _MANIFEST)
+                self._pending.clear()
+                self._attach(manifest)
 
     # -- reading ------------------------------------------------------------
 

@@ -137,6 +137,7 @@ class RunLedger:
         basis: str | None = None,
         seed: int | None = None,
         argv: list[str] | None = None,
+        extra: dict | None = None,
     ):
         self.path = Path(directory)
         self.path.mkdir(parents=True, exist_ok=True)
@@ -159,6 +160,11 @@ class RunLedger:
             "provenance": provenance(),
             "started_utc": utc_now_iso(),
         }
+        if extra:
+            # caller-owned identification (e.g. the service's job id /
+            # attempt / worker) -- must not shadow the schema fields
+            for key, value in extra.items():
+                self.manifest.setdefault(key, value)
         with open(self.path / MANIFEST_NAME, "w", encoding="utf-8") as fh:
             json.dump(self.manifest, fh, indent=2, sort_keys=True)
             fh.write("\n")

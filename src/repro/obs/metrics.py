@@ -349,6 +349,44 @@ def export_faults(
     return reg
 
 
+def export_service(
+    stats: dict,
+    registry: MetricsRegistry | None = None,
+    prefix: str = "repro_service",
+    **supervisor_counters: int,
+) -> MetricsRegistry:
+    """Export job-queue state as service gauges.
+
+    ``stats`` is :meth:`repro.service.store.JobStore.stats` (per-state
+    job counts + transition-event counts); keyword counters are the
+    supervisor's own tallies (``restarts=``, ``timeouts=``,
+    ``leases_expired=``).
+    """
+    reg = registry if registry is not None else get_metrics()
+    jobs = reg.gauge(
+        f"{prefix}_jobs", "jobs currently in each queue state",
+        labelnames=("state",),
+    )
+    for state, n in stats.get("counts", {}).items():
+        jobs.set(int(n), state=state)
+    events = reg.counter(
+        f"{prefix}_events_total", "job state-transition events recorded",
+        labelnames=("event",),
+    )
+    for event, n in stats.get("events", {}).items():
+        events.inc(int(n), event=event)
+    for name, help_ in (
+        ("restarts", "worker processes respawned by the supervisor"),
+        ("timeouts", "wall-clock timeouts enforced (SIGTERM/SIGKILL)"),
+        ("leases_expired", "dead leases re-enqueued by the supervisor"),
+    ):
+        if name in supervisor_counters:
+            reg.gauge(f"{prefix}_{name}", help_).set(
+                int(supervisor_counters[name])
+            )
+    return reg
+
+
 _registry = MetricsRegistry()
 
 

@@ -119,6 +119,17 @@ DEFAULT_SPECS: tuple[MetricSpec, ...] = (
     MetricSpec("fock_critpath", "decomposition_ok", kind="flag", quick=True),
     MetricSpec("fock_critpath", "wall_s", "lower", "relative",
                warn=1.5, fail=3.0, unit="s"),
+    # -- SCF service chaos trajectory (BENCH_service.json) ---------------
+    MetricSpec("fock_service", "passed", kind="flag", quick=True),
+    MetricSpec("fock_service", "all_done", kind="flag", quick=True),
+    MetricSpec("fock_service", "max_energy_error", "lower", "absolute",
+               warn=1e-13, fail=1e-12, quick=True, unit="Eh"),
+    MetricSpec("fock_service", "double_records", "lower", "absolute",
+               warn=0.0, fail=0.0, quick=True),
+    MetricSpec("fock_service", "jobs_per_min", "higher", "relative",
+               warn=1.5, fail=3.0, unit="jobs/min"),
+    MetricSpec("fock_service", "wall_s", "lower", "relative",
+               warn=1.5, fail=3.0, unit="s"),
     MetricSpec("scf_guard", "energy_matches", kind="flag", quick=True),
     MetricSpec("scf_guard", "overhead", "lower", "absolute",
                warn=0.05, fail=0.10, quick=True, unit="frac"),

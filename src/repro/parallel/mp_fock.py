@@ -13,12 +13,20 @@ check that the task decomposition parallelizes cleanly.
 Workers inherit the engine through ``fork`` (no per-task pickling); each
 worker accumulates a private J/K pair over its task list, and partial
 results are summed in the parent.
+
+Crash tolerance: every live pool is registered in a module-level set
+while in use, so a process that is told to die (the service supervisor's
+per-job SIGTERM, a clean worker shutdown) can call
+:func:`shutdown_active_pools` from its signal handler and terminate the
+child processes instead of leaking them -- the default SIGTERM
+disposition would kill the parent and orphan the pool.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 
 import numpy as np
 
@@ -31,6 +39,45 @@ from repro.obs import get_tracer
 from repro.scf.fock import orbit_images
 
 _WORKER_STATE: dict = {}
+
+#: pools currently executing a map, registered for signal-time teardown
+_ACTIVE_POOLS: set = set()
+_ACTIVE_POOLS_LOCK = threading.Lock()
+
+
+def _register_pool(pool) -> None:
+    with _ACTIVE_POOLS_LOCK:
+        _ACTIVE_POOLS.add(pool)
+
+
+def _unregister_pool(pool) -> None:
+    with _ACTIVE_POOLS_LOCK:
+        _ACTIVE_POOLS.discard(pool)
+
+
+def active_pool_count() -> int:
+    """Live registered pools (0 outside a ``parallel_build_jk`` call)."""
+    with _ACTIVE_POOLS_LOCK:
+        return len(_ACTIVE_POOLS)
+
+
+def shutdown_active_pools() -> int:
+    """Terminate and join every registered pool; returns how many.
+
+    Safe to call from a signal handler: a job that is timed out with
+    SIGTERM tears down its child processes instead of leaking them to
+    init.  Idempotent -- terminating an already-closed pool is a no-op.
+    """
+    with _ACTIVE_POOLS_LOCK:
+        pools = list(_ACTIVE_POOLS)
+        _ACTIVE_POOLS.clear()
+    for pool in pools:
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - best effort at shutdown
+            pass
+    return len(pools)
 
 
 def _init_worker(engine: ERIEngine, screen: ScreeningMap, density: np.ndarray) -> None:
@@ -144,10 +191,14 @@ def parallel_build_jk(
                 initializer=_init_worker,
                 initargs=(engine, screen, density),
             ) as pool:
-                # reduce partials as they arrive, in completion order
-                for jp, kp in pool.imap_unordered(_run_tasks, chunks):
-                    j += jp
-                    k += kp
+                _register_pool(pool)
+                try:
+                    # reduce partials as they arrive, in completion order
+                    for jp, kp in pool.imap_unordered(_run_tasks, chunks):
+                        j += jp
+                        k += kp
+                finally:
+                    _unregister_pool(pool)
         return j, k
 
 

@@ -142,6 +142,27 @@ def checkpoint_paths(directory: str | Path) -> list[Path]:
     return [p for _, p in sorted(found, reverse=True)]
 
 
+def prune_checkpoints(directory: str | Path, keep: int = 3) -> int:
+    """Delete all but the newest ``keep`` snapshots; returns the count.
+
+    Long-running service jobs checkpoint every iteration; pruning after
+    each successful run (and on worker shutdown) bounds per-job disk to
+    ``keep`` snapshots while preserving the corruption-fallback margin
+    of :func:`load_latest_intact` (``keep >= 2`` recommended: a torn
+    newest file still leaves an intact predecessor).
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    removed = 0
+    for path in checkpoint_paths(directory)[keep:]:
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:  # already gone (concurrent prune) or read-only
+            pass
+    return removed
+
+
 def load_latest_intact(directory: str | Path) -> Checkpoint | None:
     """The most recent snapshot that actually loads.
 

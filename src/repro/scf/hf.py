@@ -10,6 +10,7 @@ integrals, so the same driver runs on real or synthetic integrals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -129,6 +130,13 @@ class RHF:
         seeded NaN/Inf corruption into the batched ERI path and SCF
         matrices (the ``repro chaos --family scf`` harness and the
         torture suite); usually combined with ``guard``.
+    on_iteration:
+        Optional callback ``(iteration, energy)`` invoked after every
+        completed iteration, *after* its checkpoint (if any) is durably
+        on disk.  The service worker uses it as the lease heartbeat
+        (:mod:`repro.service.worker`): a hung iteration stops
+        heartbeating and the job's lease expires.  Exceptions raised by
+        the callback abort the run and propagate to the caller.
     """
 
     molecule: Molecule
@@ -148,6 +156,7 @@ class RHF:
     restart: bool = False
     guard: GuardConfig | bool | None = None
     faults: SCFFaultPlan | None = None
+    on_iteration: Callable[[int, float], None] | None = None
 
     def __post_init__(self) -> None:
         if self.molecule.nelectrons % 2 != 0:
@@ -400,6 +409,10 @@ class RHF:
                     self.checkpoint_dir, it, d, e_old, history, diis,
                     guard=guard,
                 )
+            if self.on_iteration is not None:
+                # after the checkpoint is durable: a lease heartbeat here
+                # never vouches for progress that could still be lost
+                self.on_iteration(it, e_old)
             if converged:
                 break
 

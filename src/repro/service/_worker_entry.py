@@ -1,0 +1,15 @@
+"""Subprocess entry point for service workers.
+
+``python -m repro.service._worker_entry <queue_dir> [owner [opts-json]]``
+
+Kept separate from :mod:`repro.service.worker` (which the package
+``__init__`` re-exports) so running it with ``-m`` does not trip the
+"found in sys.modules" runpy warning.
+"""
+
+import sys
+
+from repro.service.worker import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,220 @@
+"""Service chaos gate: seeded worker SIGKILLs must not lose a job.
+
+The execution-layer analogue of ``repro chaos`` (simulator rank deaths):
+submit real SCF jobs to a real worker pool, SIGKILL live workers at
+seeded times while their jobs are mid-iteration, and verify the paper's
+resilience claim end to end:
+
+* every submitted job still reaches ``done`` (lease expiry re-enqueues,
+  checkpoint restart resumes);
+* each final energy matches a fault-free baseline run of the same
+  molecule/basis to ``tolerance`` (default 1e-12) -- resumption is
+  bitwise, so the match is typically *exact*;
+* no job is ever recorded-as-done twice (the lease-owner guard), even
+  though some were *executed* more than once.
+
+The kill schedule is a seeded draw (delay per kill), so a chaos run is
+reproducible the way every fault plan in this package is.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.service.store import JobStore
+from repro.service.supervisor import serve
+
+
+@dataclass
+class ServiceChaosResult:
+    """Outcome of one seeded service-chaos run."""
+
+    njobs: int
+    workers: int
+    seed: int
+    kills_planned: int
+    kills_done: int
+    wall_s: float
+    jobs_per_min: float
+    counts: dict[str, int]
+    requeues: int
+    double_records: int
+    energy_errors: dict[int, float] = field(default_factory=dict)
+    max_energy_error: float = 0.0
+    tolerance: float = 1e-12
+    worker_restarts: int = 0
+
+    @property
+    def all_done(self) -> bool:
+        return self.counts.get("done", 0) == self.njobs
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.all_done
+            and self.double_records == 0
+            and self.max_energy_error <= self.tolerance
+        )
+
+    def summary_lines(self) -> list[str]:
+        return [
+            f"jobs         = {self.njobs} submitted, "
+            f"{self.counts.get('done', 0)} done "
+            f"({self.jobs_per_min:.1f} jobs/min)",
+            f"kills        = {self.kills_done}/{self.kills_planned} "
+            f"(seed {self.seed}), worker restarts {self.worker_restarts}",
+            f"requeues     = {self.requeues} "
+            f"(lease expiry / retry re-enqueues)",
+            f"max |dE|     = {self.max_energy_error:.3e} "
+            f"(tolerance {self.tolerance:.0e})",
+            f"double records = {self.double_records}",
+            f"passed       = {self.passed}",
+        ]
+
+    def to_json(self) -> dict:
+        return {
+            "family": "service",
+            "njobs": self.njobs,
+            "workers": self.workers,
+            "seed": self.seed,
+            "kills_planned": self.kills_planned,
+            "kills_done": self.kills_done,
+            "wall_s": self.wall_s,
+            "jobs_per_min": self.jobs_per_min,
+            "counts": self.counts,
+            "requeues": self.requeues,
+            "double_records": self.double_records,
+            "max_energy_error": self.max_energy_error,
+            "tolerance": self.tolerance,
+            "worker_restarts": self.worker_restarts,
+            "passed": self.passed,
+        }
+
+
+class _SeededKiller:
+    """SIGKILL a lease-holding worker at each seeded delay."""
+
+    def __init__(self, kills: int, seed: int, window: tuple[float, float]):
+        rng = np.random.default_rng(seed)
+        lo, hi = window
+        self.delays = sorted(rng.uniform(lo, hi, size=kills).tolist())
+        self.done = 0
+        self.t0: float | None = None
+
+    def __call__(self, store: JobStore, pool) -> None:
+        if self.t0 is None:
+            self.t0 = time.time()
+        if self.done >= len(self.delays):
+            return
+        if time.time() - self.t0 < self.delays[self.done]:
+            return
+        # kill a worker that actually holds a lease: that is the
+        # "mid-iteration" crash the gate is about
+        busy = {
+            j.lease_owner for j in store.jobs(("leased", "running"))
+            if j.lease_owner
+        }
+        for owner, proc in pool.procs.items():
+            if owner in busy and proc.poll() is None:
+                os.kill(proc.pid, signal.SIGKILL)
+                self.done += 1
+                return
+
+
+def run_service_chaos(
+    queue_dir: str | Path,
+    njobs: int = 8,
+    workers: int = 3,
+    kills: int = 2,
+    seed: int = 0,
+    molecule: str = "water",
+    basis: str = "6-31g",
+    tolerance: float = 1e-12,
+    lease_s: float = 2.0,
+    timeout_s: float = 120.0,
+    max_attempts: int = 6,
+    kill_window: tuple[float, float] = (0.5, 4.0),
+    wall_limit_s: float = 300.0,
+    poll_s: float = 0.2,
+) -> ServiceChaosResult:
+    """Run the seeded kill scenario; see the module docstring for the gate.
+
+    The fault-free baseline energy is computed inline (one uninterrupted
+    RHF per distinct spec) before the pool starts, so the comparison
+    never depends on service machinery being correct.
+    """
+    from repro.chem import builders
+    from repro.scf import RHF
+
+    queue_dir = Path(queue_dir)
+    store = JobStore(queue_dir)
+
+    simple = {
+        "water": builders.water, "h2": builders.h2,
+        "methane": builders.methane, "benzene": builders.benzene,
+    }
+    baseline = RHF(simple[molecule](), basis_name=basis).run()
+    if not baseline.converged:
+        raise RuntimeError(
+            f"fault-free baseline {molecule}/{basis} did not converge"
+        )
+
+    job_ids = []
+    for _ in range(njobs):
+        job = store.submit(
+            {"kind": "scf", "molecule": molecule, "basis": basis},
+            lease_s=lease_s, timeout_s=timeout_s, max_attempts=max_attempts,
+        )
+        job_ids.append(job.id)
+
+    killer = _SeededKiller(kills, seed, kill_window)
+    t0 = time.time()
+    outcome = serve(
+        queue_dir, workers=workers, poll_s=poll_s, drain=True,
+        wall_limit_s=wall_limit_s, install_signals=False, on_tick=killer,
+    )
+    wall = time.time() - t0
+
+    counts = store.counts()
+    energy_errors: dict[int, float] = {}
+    double_records = 0
+    for job_id in job_ids:
+        done_events = [
+            ev for ev, _, _ in store.events_for(job_id) if ev == "done"
+        ]
+        if len(done_events) > 1:
+            double_records += len(done_events) - 1
+        job = store.get(job_id)
+        if job.state == "done" and job.result is not None:
+            energy_errors[job_id] = abs(
+                float(job.result["energy"]) - baseline.energy
+            )
+    events = store.event_counts()
+    requeues = events.get("lease_expired", 0) + events.get("retry", 0) \
+        + events.get("timeout", 0)
+    if counts.get("done", 0) == njobs and len(energy_errors) == njobs:
+        max_err = max(energy_errors.values(), default=0.0)
+    else:
+        max_err = float("inf")  # a lost job can never pass the gate
+    return ServiceChaosResult(
+        njobs=njobs,
+        workers=workers,
+        seed=seed,
+        kills_planned=kills,
+        kills_done=killer.done,
+        wall_s=wall,
+        jobs_per_min=(njobs / wall * 60.0) if wall > 0 else 0.0,
+        counts=counts,
+        requeues=requeues,
+        double_records=double_records,
+        energy_errors=energy_errors,
+        max_energy_error=max_err,
+        tolerance=tolerance,
+        worker_restarts=outcome.worker_restarts,
+    )

@@ -1,0 +1,298 @@
+"""Service worker: claim a lease, run the job, heartbeat, survive.
+
+One worker process runs this loop::
+
+    claim -> start -> run (heartbeat per SCF iteration) -> complete
+                                   |
+                 MemoryError ------+--> fail(retryable, degraded spec)
+                 poison input -----+--> fail(non-retryable) -> quarantine
+                 crash / SIGKILL --+--> (nothing: lease expires, the
+                                        supervisor re-enqueues, the next
+                                        worker resumes from checkpoint)
+
+Crash-tolerance mechanics:
+
+* **Heartbeat = per-iteration callback.**  The lease is renewed from
+  :class:`~repro.scf.hf.RHF`'s ``on_iteration`` hook, *after* that
+  iteration's checkpoint is durably on disk.  A worker stuck inside an
+  iteration (native hang, livelock) stops heartbeating and loses its
+  lease -- a deliberate design choice over a background heartbeat
+  thread, which would keep vouching for a hung process forever.  Size
+  ``lease_s`` above the per-iteration time.
+* **Bitwise resume.**  Jobs run with ``checkpoint_dir`` + ``restart=True``,
+  so a re-claimed job continues from the latest intact snapshot and
+  reproduces the uninterrupted trajectory exactly (PR-4 guarantee).
+* **Idempotent recording.**  :meth:`JobStore.complete` is guarded by the
+  lease owner; a stale worker that lost its lease mid-run gets ``False``
+  back and discards its result -- a job is never recorded-as-done twice.
+* **Graceful degradation.**  A ``MemoryError`` retry re-enqueues the job
+  with a degraded spec (:func:`degrade_spec`): first the threaded J/K
+  is dropped to serial, then the ERI cache is released.
+* **Clean teardown.**  SIGTERM (supervisor timeout or shutdown)
+  terminates registered multiprocessing pools
+  (:func:`repro.parallel.mp_fock.shutdown_active_pools`), interrupts
+  threaded J/K workers at the next chunk edge, releases the current
+  lease, and exits 143 -- no orphaned children, no stuck lease.
+
+Job specs are plain dicts.  ``kind="scf"`` (default) runs an RHF with
+``molecule``/``basis``/``max_iter``/``jk_threads``/``cache_mb``/``guard``/
+``store_dir`` keys.  The other kinds are deterministic service-test
+personalities used by the chaos harness and the test suite: ``sleep``
+(optionally ``hang`` = no heartbeat), ``fail`` (raise until attempt N),
+``poison`` (always raise ValueError), and ``oom`` (raise MemoryError
+until the spec is fully degraded).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import traceback
+from pathlib import Path
+
+from repro.service.store import Job, JobStore
+
+#: exit code of a SIGTERM'd worker (128 + SIGTERM)
+SIGTERM_EXIT = 143
+
+#: snapshots kept per job after a successful run
+CHECKPOINT_KEEP = 3
+
+
+class LeaseLostError(RuntimeError):
+    """The job's lease was lost mid-run; abort and discard the result."""
+
+
+def degrade_spec(spec: dict) -> tuple[dict | None, str]:
+    """One rung down the MemoryError degradation ladder.
+
+    Returns ``(new_spec, description)`` or ``(None, "")`` when nothing
+    is left to shed.  Ladder: threaded J/K -> serial, then drop the
+    ERI quartet cache.
+    """
+    if spec.get("jk_threads") and int(spec["jk_threads"]) > 1:
+        new = dict(spec)
+        new["jk_threads"] = 1
+        return new, "jk_threads -> 1"
+    if spec.get("cache_mb"):
+        new = dict(spec)
+        new["cache_mb"] = None
+        return new, "cache_mb -> None"
+    return None, ""
+
+
+#: in-flight job the SIGTERM handler must release, keyed per process
+_CURRENT: dict = {}
+
+
+def _sigterm_handler(signum, frame):  # pragma: no cover - signal path
+    from repro.integrals.class_batch import interrupt_jk_threads
+    from repro.parallel.mp_fock import shutdown_active_pools
+
+    interrupt_jk_threads()
+    shutdown_active_pools()
+    store: JobStore | None = _CURRENT.get("store")
+    job_id = _CURRENT.get("job_id")
+    if store is not None and job_id is not None:
+        try:
+            store.release(job_id, _CURRENT["owner"], "worker sigterm")
+        except Exception:
+            pass
+    raise SystemExit(SIGTERM_EXIT)
+
+
+def install_signal_handlers() -> None:
+    """Arm the clean-teardown SIGTERM handler (worker processes only)."""
+    signal.signal(signal.SIGTERM, _sigterm_handler)
+
+
+# -- job personalities -------------------------------------------------------
+
+
+def _run_scf_job(store: JobStore, job: Job, owner: str) -> dict:
+    from repro.chem import builders
+    from repro.chem.builders import paper_molecule
+    from repro.scf import RHF
+    from repro.scf.checkpoint import load_latest_intact, prune_checkpoints
+
+    spec = job.spec
+    name = spec.get("molecule", "water")
+    simple = {
+        "water": builders.water,
+        "h2": builders.h2,
+        "methane": builders.methane,
+        "benzene": builders.benzene,
+    }
+    mol = simple[name]() if name in simple else paper_molecule(name)
+    ckpt_dir = Path(job.job_dir) / "checkpoints"
+    resumed = load_latest_intact(ckpt_dir)
+
+    def heartbeat(iteration: int, energy: float) -> None:
+        if not store.heartbeat(job.id, owner):
+            raise LeaseLostError(
+                f"job {job.id}: lease lost at iteration {iteration}"
+            )
+
+    rhf = RHF(
+        mol,
+        basis_name=spec.get("basis", "sto-3g"),
+        max_iter=int(spec.get("max_iter", 100)),
+        jk_threads=spec.get("jk_threads"),
+        cache_mb=spec.get("cache_mb"),
+        integral_store=spec.get("store_dir"),
+        guard=bool(spec.get("guard", False)),
+        checkpoint_dir=str(ckpt_dir),
+        restart=True,
+        on_iteration=heartbeat,
+    )
+    result = rhf.run()
+    prune_checkpoints(ckpt_dir, keep=CHECKPOINT_KEEP)
+    if not result.converged:
+        raise RuntimeError(
+            f"SCF did not converge in {result.iterations} iterations"
+        )
+    return {
+        "energy": result.energy,
+        "converged": result.converged,
+        "iterations": result.iterations,
+        "resumed_from_iteration": 0 if resumed is None else resumed.iteration,
+    }
+
+
+def _run_test_job(store: JobStore, job: Job, owner: str) -> dict:
+    """The deterministic non-SCF personalities (chaos/test machinery)."""
+    spec, kind = job.spec, job.spec["kind"]
+    if kind == "sleep":
+        deadline = time.time() + float(spec.get("seconds", 1.0))
+        while time.time() < deadline:
+            time.sleep(min(0.05, max(0.0, deadline - time.time())))
+            if not spec.get("hang") and not store.heartbeat(job.id, owner):
+                raise LeaseLostError(f"job {job.id}: lease lost mid-sleep")
+        return {"ok": True, "slept_s": float(spec.get("seconds", 1.0))}
+    if kind == "fail":
+        # job.attempts counts *finished* attempts: 0 on the first try
+        if job.attempts < int(spec.get("times", 1)):
+            raise RuntimeError(
+                f"injected failure on attempt {job.attempts + 1}"
+            )
+        return {"ok": True, "attempts_needed": job.attempts + 1}
+    if kind == "poison":
+        raise ValueError("poison job: deterministic bad input")
+    if kind == "oom":
+        if degrade_spec(spec)[0] is not None:
+            raise MemoryError("injected allocation failure")
+        return {"ok": True, "degraded": True}
+    raise ValueError(f"unknown job kind {kind!r}")
+
+
+# -- the claim-run-record cycle ----------------------------------------------
+
+
+def run_claimed_job(store: JobStore, job: Job, owner: str) -> str:
+    """Run one leased job to a terminal/retry transition; returns it.
+
+    Every outcome maps to exactly one guarded store transition; an
+    outcome whose guard no longer matches (lease lost while finishing)
+    is discarded, which is what makes re-execution after lease expiry
+    idempotent.
+    """
+    from repro.obs.manifest import RunLedger, set_ledger
+    from repro.obs.metrics import MetricsRegistry, set_metrics
+
+    if not store.start(job.id, owner):
+        return "lost"  # lease expired between claim and start
+    _CURRENT.update({"store": store, "job_id": job.id, "owner": owner})
+    spec = job.spec
+    ledger = RunLedger(
+        Path(job.job_dir) / "run",
+        command="service-job",
+        config=dict(spec),
+        molecule=spec.get("molecule"),
+        basis=spec.get("basis"),
+        extra={
+            "job_id": job.id, "attempt": job.attempts + 1, "worker": owner,
+        },
+    )
+    prev_ledger = set_ledger(ledger)
+    prev_metrics = set_metrics(MetricsRegistry())
+    rc = 1
+    try:
+        if spec.get("kind", "scf") == "scf":
+            result = _run_scf_job(store, job, owner)
+        else:
+            result = _run_test_job(store, job, owner)
+        recorded = store.complete(job.id, owner, result)
+        ledger.add_summary(**result)
+        rc = 0 if recorded else 1
+        return "done" if recorded else "lost"
+    except LeaseLostError as exc:
+        ledger.add_summary(lease_lost=str(exc))
+        return "lost"
+    except MemoryError:
+        err = traceback.format_exc()
+        new_spec, rung = degrade_spec(spec)
+        detail = f"MemoryError; degraded: {rung}" if new_spec else err
+        state = store.fail(
+            job.id, owner, detail, retryable=True, new_spec=new_spec,
+            event="degraded" if new_spec else "retry",
+        )
+        ledger.add_summary(error="MemoryError", degraded=rung or None)
+        return state or "lost"
+    except (ValueError, TypeError):
+        # deterministic bad input: retrying cannot help -> quarantine
+        state = store.fail(
+            job.id, owner, traceback.format_exc(), retryable=False,
+        )
+        ledger.add_summary(error="poison input")
+        return state or "lost"
+    except Exception:
+        state = store.fail(
+            job.id, owner, traceback.format_exc(), retryable=True,
+        )
+        ledger.add_summary(error="crashed")
+        return state or "lost"
+    finally:
+        _CURRENT.clear()
+        set_metrics(prev_metrics)
+        set_ledger(prev_ledger)
+        ledger.close(rc)
+
+
+def worker_main(
+    queue_dir: str | Path,
+    owner: str | None = None,
+    poll_s: float = 0.2,
+    exit_when_drained: bool = False,
+    max_jobs: int | None = None,
+) -> int:
+    """The worker-process entry point (used by ``repro serve``).
+
+    Claims and runs jobs until ``exit_when_drained`` sees an empty
+    queue (or ``max_jobs`` have been processed); idles on ``poll_s``
+    between empty claims.
+    """
+    owner = owner or f"worker-{os.getpid()}"
+    install_signal_handlers()
+    store = JobStore(queue_dir)
+    done = 0
+    while True:
+        job = store.claim(owner)
+        if job is None:
+            if exit_when_drained and store.drained():
+                return 0
+            time.sleep(poll_s)
+            continue
+        run_claimed_job(store, job, owner)
+        done += 1
+        if max_jobs is not None and done >= max_jobs:
+            return 0
+
+
+def main(argv: list[str]) -> int:
+    """CLI shim: ``<queue_dir> [owner [opts-json]]`` (see _worker_entry)."""
+    queue_dir = argv[0]
+    owner = argv[1] if len(argv) > 1 else None
+    opts = json.loads(argv[2]) if len(argv) > 2 else {}
+    return worker_main(queue_dir, owner, **opts)
