@@ -1,0 +1,123 @@
+"""Integrity-layer overhead: RHF water/6-31G, detectors on vs off.
+
+The integrity layer buys its detection coverage with per-iteration ABFT
+checks (symmetry residuals on F and D, the Tr(D*S) electron-count
+check) plus scrub-on-first-read CRC verification of every stored ERI
+block -- all of which ride the SCF hot path.  On a healthy run over a
+warm store that cost must stay within the PR's 5% acceptance gate, and
+the detectors must raise zero false alarms.  Each full run appends one
+``fock_sdc`` datapoint to ``BENCH_fock.json``.  Run as a pytest
+benchmark or as a script; ``--quick`` skips the history file.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+
+from repro.chem.builders import water
+from repro.scf.hf import RHF
+
+from test_bench_table3_times import append_history
+
+ROUNDS = 4
+OVERHEAD_GATE = 0.05
+
+
+def _time_scf(store_dir: str, integrity: bool) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    res = RHF(
+        water(), basis_name="6-31g", integral_store=store_dir,
+        integrity=integrity,
+    ).run()
+    return time.perf_counter() - t0, res
+
+
+def run_sdc_bench(rounds: int = ROUNDS) -> dict:
+    """Best-of-N wall times for integrity off/on over one warm store.
+
+    The store is filled once (untimed) so both configurations measure
+    the stored-integral steady state -- the configuration the CRC
+    framing actually taxes.  Min is the estimator, as in scf_guard:
+    scheduler noise is one-sided.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sdc-") as work:
+        store_dir = work + "/store"
+        _time_scf(store_dir, integrity=False)  # fill + finalize, untimed
+        off, on = [], []
+        res_off = res_on = None
+        for _ in range(rounds):
+            t, res_off = _time_scf(store_dir, integrity=False)
+            off.append(t)
+            t, res_on = _time_scf(store_dir, integrity=True)
+            on.append(t)
+    t_off = min(off)
+    t_on = min(on)
+    summary = res_on.integrity_summary
+    entry = {
+        "benchmark": "fock_sdc",
+        "molecule": "water",
+        "basis": "6-31g",
+        "rounds": rounds,
+        "wall_off_s": round(t_off, 4),
+        "wall_on_s": round(t_on, 4),
+        "overhead": round(t_on / t_off - 1.0, 4),
+        "iterations": res_on.iterations,
+        "energy": round(res_on.energy, 10),
+        "checks": summary["checks_total"],
+        "false_positives": summary["detections_total"],
+        "energy_matches": bool(res_on.energy == res_off.energy),
+    }
+    entry["passed"] = bool(
+        entry["energy_matches"]
+        and entry["false_positives"] == 0
+        and entry["overhead"] <= OVERHEAD_GATE
+    )
+    return entry
+
+
+def check_entry(entry: dict) -> None:
+    """The acceptance gate: a healthy run is untouched and nearly free."""
+    assert entry["false_positives"] == 0, (
+        f"{entry['false_positives']} detector false positive(s) on a "
+        "clean run"
+    )
+    assert entry["energy_matches"], "integrity layer changed the energy"
+    assert entry["overhead"] <= OVERHEAD_GATE, (
+        f"integrity overhead {entry['overhead']:.1%} exceeds "
+        f"{OVERHEAD_GATE:.0%} gate "
+        f"(off {entry['wall_off_s']}s, on {entry['wall_on_s']}s)"
+    )
+    assert entry["passed"]
+
+
+def test_bench_sdc(benchmark, emit):
+    entry = benchmark.pedantic(run_sdc_bench, rounds=1, iterations=1)
+    emit(
+        "fock_sdc: water/6-31g integrity overhead "
+        f"{entry['overhead']:+.1%} (off {entry['wall_off_s']}s, "
+        f"on {entry['wall_on_s']}s, {entry['checks']} checks)"
+    )
+    check_entry(entry)
+    append_history(entry)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    entry = run_sdc_bench(rounds=1 if quick else ROUNDS)
+    print(
+        "fock_sdc: water/6-31g integrity overhead "
+        f"{entry['overhead']:+.1%} (off {entry['wall_off_s']}s, "
+        f"on {entry['wall_on_s']}s, {entry['checks']} checks, "
+        f"{entry['false_positives']} false positives)"
+    )
+    check_entry(entry)
+    if not quick:
+        append_history(entry)
+        print("appended fock_sdc datapoint to BENCH_fock.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -86,6 +86,14 @@ SCHEMAS: dict[str, dict[str, type]] = {
         "overhead": float,
         "energy_matches": bool,
     },
+    "fock_sdc": {
+        "wall_off_s": float,
+        "wall_on_s": float,
+        "overhead": float,
+        "false_positives": float,
+        "energy_matches": bool,
+        "passed": bool,
+    },
     "phase_profiler": {
         "wall_off_s": float,
         "wall_on_s": float,

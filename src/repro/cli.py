@@ -18,7 +18,14 @@ analyze MOLECULE [--cores N]    critical-path analysis of a simulated
 chaos MOLECULE [--seed N]       fault-injected build, verified vs fault-free
                                 (``--family scf`` = NaN/Inf ERI corruption;
                                 ``--family service`` = seeded SIGKILLs of
-                                real queue workers, jobs must still finish)
+                                real queue workers, jobs must still finish;
+                                ``--family sdc`` = silent bit flips into
+                                checkpoints, stored ERI blocks, accumulate
+                                payloads, and in-flight matrices -- every
+                                one must be detected and repaired)
+verify DIR [--json PATH]        offline integrity audit: re-checksum every
+                                store / checkpoint / run ledger under DIR;
+                                exit 1 if anything fails verification
 serve [--workers N] [--drain]   run the SCF-as-a-service worker pool over
                                 a durable job queue (``--queue DIR``)
 submit MOLECULE [--basis NAME]  enqueue an SCF job (returns its job id)
@@ -91,6 +98,7 @@ def _run_scf(args: argparse.Namespace) -> int:
         guard=guard,
         integral_store=args.store,
         jk_threads=args.jk_threads,
+        integrity=args.integrity,
     )
     result = rhf.run()
     print(f"energy      = {result.energy:.8f} hartree")
@@ -119,6 +127,13 @@ def _run_scf(args: argparse.Namespace) -> int:
         )
         for line in [ev.describe() for ev in result.guard_events]:
             print(f"  {line}")
+    if result.integrity_summary is not None:
+        s = result.integrity_summary
+        print(
+            f"integrity   = {s['checks_total']} checks, "
+            f"{s['detections_total']} corruptions detected, "
+            f"{s['recoveries_total']} recoveries"
+        )
     return 0 if result.converged else 1
 
 
@@ -336,6 +351,73 @@ def _run_scf_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sdc_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fock.chaos import run_sdc_chaos
+
+    cres = run_sdc_chaos(
+        molecule=args.molecule,
+        basis_name=args.basis,
+        seed=args.seed,
+        tolerance=args.tolerance,
+        workdir=args.workdir,
+    )
+    print(f"sdc chaos run: {cres.molecule}/{cres.basis_name}")
+    for line in cres.summary_lines():
+        print(f"  {line}")
+    if args.workdir:
+        print(f"  corrupted work tree kept at {args.workdir} "
+              "(audit it with 'repro verify')")
+    if args.json:
+        payload = {
+            "family": "sdc",
+            "molecule": cres.molecule,
+            "basis": cres.basis_name,
+            "seed": cres.plan.seed,
+            "fock_error": cres.fock_error,
+            "energy_error": cres.energy_error,
+            "tolerance": cres.tolerance,
+            "injected": cres.injected,
+            "detected": cres.detected,
+            "silent": cres.silent,
+            "false_positives": cres.false_positives,
+            "ga_error": cres.ga_error,
+            "checkpoint_intact": cres.checkpoint_intact,
+            "overhead": cres.overhead,
+            "passed": cres.passed,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"chaos summary written to {args.json}")
+    if not cres.passed:
+        print(
+            "sdc chaos invariant FAILED: "
+            f"{cres.silent_total} silent corruption(s), "
+            f"{cres.false_positives} false positive(s), "
+            f"max |dE| {cres.energy_error:.3e} "
+            f"(tolerance {cres.tolerance:.0e})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.verify import verify_tree
+
+    report = verify_tree(args.directory)
+    for line in report.summary_lines():
+        print(line)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+        print(f"verify report written to {args.json}")
+    return 0 if report.clean else 1
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
@@ -368,6 +450,8 @@ def _run_submit(args: argparse.Namespace) -> int:
         spec["store_dir"] = args.store
     if args.guard:
         spec["guard"] = True
+    if args.integrity:
+        spec["integrity"] = True
     if args.max_iter is not None:
         spec["max_iter"] = args.max_iter
     store = JobStore(args.queue)
@@ -535,6 +619,8 @@ def _run_chaos(args: argparse.Namespace) -> int:
         return _run_scf_chaos(args)
     if args.family == "service":
         return _run_service_chaos(args)
+    if args.family == "sdc":
+        return _run_sdc_chaos(args)
 
     # capture the faulted run for the report's embedded trace; reuse an
     # installed (--trace) tracer so both outputs describe the same run
@@ -800,6 +886,12 @@ def main(argv: list[str] | None = None) -> int:
         "--guard-max-nonfinite", type=int, default=3, metavar="N",
         help="non-finite events tolerated before aborting with GuardError",
     )
+    p_scf.add_argument(
+        "--integrity", action="store_true",
+        help="arm the data-integrity layer: ABFT checks on F/D each "
+        "iteration, CRC-verified stored-integral reads, verified "
+        "recovery (see docs/ROBUSTNESS.md)",
+    )
 
     for name in (
         "table2", "table3", "table4", "table5", "table6", "table7",
@@ -888,12 +980,22 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument("--basis", default="sto-3g")
     p_chaos.add_argument("--nproc", type=int, default=4)
     p_chaos.add_argument(
-        "--family", choices=["runtime", "scf", "service"], default="runtime",
+        "--family", choices=["runtime", "scf", "service", "sdc"],
+        default="runtime",
         help="runtime = rank deaths / lossy ops on the simulated machine; "
         "scf = seeded NaN/Inf corruption of batched ERI blocks, rescued "
         "by the convergence guard's sentinel; service = seeded SIGKILLs "
         "of real queue workers -- every job must still reach done with "
-        "its fault-free energy",
+        "its fault-free energy; sdc = silent bit flips into checkpoint "
+        "files, stored ERI blocks, accumulate payloads, and in-flight "
+        "F/D matrices -- every one must be detected and repaired, and "
+        "the run must still land on the clean energy",
+    )
+    p_chaos.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="(sdc family) work tree for stores/checkpoints; kept after "
+        "the run so 'repro verify' can audit the planted corruption "
+        "(default: a tempdir, removed on exit)",
     )
     p_chaos.add_argument(
         "--jobs", type=int, default=8,
@@ -1022,6 +1124,11 @@ def main(argv: list[str] | None = None) -> int:
     p_sub.add_argument(
         "--guard", action="store_true", help="arm the convergence guard"
     )
+    p_sub.add_argument(
+        "--integrity", action="store_true",
+        help="arm the data-integrity layer (unrecoverable corruption "
+        "quarantines the job instead of retrying it)",
+    )
 
     p_stat = sub.add_parser(
         "status", help="job table + per-state counts of the durable queue",
@@ -1054,6 +1161,18 @@ def main(argv: list[str] | None = None) -> int:
     p_drain.add_argument(
         "--poll", type=float, default=0.5, metavar="S",
         help="poll interval",
+    )
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="offline integrity audit of every store / checkpoint / run "
+        "ledger under a directory (see docs/ROBUSTNESS.md)",
+        parents=[obs_flags],
+    )
+    p_verify.add_argument("directory", metavar="DIR")
+    p_verify.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the audit report as JSON",
     )
 
     p_tort = sub.add_parser(
@@ -1224,6 +1343,8 @@ def main(argv: list[str] | None = None) -> int:
             rc = _run_cancel(args)
         elif args.command == "drain":
             rc = _run_drain(args)
+        elif args.command == "verify":
+            rc = _run_verify(args)
         elif args.command == "torture":
             rc = _run_torture(args)
         elif args.command == "perf":

@@ -457,13 +457,26 @@ def _resolve_chunk(
     from the batched path exactly as they do from the per-quartet path.
     """
     nrows = hi - lo
-    counts = {"computed": 0, "from_store": 0, "from_cache": 0, "rescued": 0}
+    counts = {"computed": 0, "from_store": 0, "from_cache": 0, "rescued": 0,
+              "crc_rescued": 0}
     if store is not None and store.ready:
         offs = _store_offsets(batch, store)
         if offs is not None:
             sel = offs[lo:hi]
             if (sel >= 0).all():
                 blocks = store.read_stacked(sel, batch.block_size, batch.dims)
+                if store.verify_reads:
+                    # rows whose bytes fail the finalize-time CRC are
+                    # not trusted: recompute them with the same batched
+                    # kernel (bitwise-identical values, so a corrupted
+                    # store never perturbs F)
+                    good = store.verify_stacked(sel, blocks)
+                    if not good.all():
+                        bad = np.flatnonzero(~good)
+                        blocks[bad] = compute_class_rows(
+                            batch, np.arange(lo, hi)[bad]
+                        )
+                        counts["crc_rescued"] = len(bad)
                 counts["from_store"] = nrows
                 return blocks, counts
     rows = np.arange(lo, hi)
@@ -542,7 +555,7 @@ def _run_chunks(engine, density, chunks, starts, store, cache):
     stats = {
         "eri_wall": 0.0, "eri_cpu": 0.0, "jk_wall": 0.0, "jk_cpu": 0.0,
         "calls": 0, "computed": 0, "from_store": 0, "from_cache": 0,
-        "rescued": 0,
+        "rescued": 0, "crc_rescued": 0,
     }
     for batch, lo, hi in chunks:
         if _JK_INTERRUPT.is_set():
@@ -557,7 +570,8 @@ def _run_chunks(engine, density, chunks, starts, store, cache):
         stats["jk_wall"] += t2 - t1
         stats["jk_cpu"] += c2 - c1
         stats["calls"] += 1
-        for key in ("computed", "from_store", "from_cache", "rescued"):
+        for key in ("computed", "from_store", "from_cache", "rescued",
+                    "crc_rescued"):
             stats[key] += counts[key]
     return jflat, kflat, stats
 
@@ -594,7 +608,7 @@ def jk_from_plan(
         jflat = np.zeros(n * n)
         kflat = np.zeros(n * n)
         totals = {"computed": 0, "from_store": 0, "from_cache": 0,
-                  "rescued": 0}
+                  "rescued": 0, "crc_rescued": 0}
         eri_span = prof.phase(PHASE_ERI)
         jk_span = prof.phase(PHASE_JK)
         for batch, lo, hi in chunks:
@@ -624,7 +638,7 @@ def jk_from_plan(
         jflat = np.zeros(n * n)
         kflat = np.zeros(n * n)
         totals = {"computed": 0, "from_store": 0, "from_cache": 0,
-                  "rescued": 0}
+                  "rescued": 0, "crc_rescued": 0}
         for jp, kp, stats in results:
             jflat += jp
             kflat += kp
@@ -642,6 +656,7 @@ def jk_from_plan(
     engine.quartets_served_from_cache += totals["from_cache"]
     if store is not None:
         engine.quartets_served_from_store += totals["from_store"]
+        engine.crc_rescues += totals["crc_rescued"]
         if store.filling and store.pending_blocks:
             store.finalize(tau)
     return jflat.reshape(n, n), kflat.reshape(n, n)

@@ -192,6 +192,11 @@ class ERIEngine(abc.ABC):
         self.finite_check = False
         #: blocks rescued by the per-quartet reference-kernel fallback
         self.eri_rescues = 0
+        #: store blocks that failed their CRC and were recomputed
+        #: (class-batched path; the per-quartet path recomputes via
+        #: ``store.get`` returning None, tallied in the store's own
+        #: ``crc_mismatches``)
+        self.crc_rescues = 0
         #: seeded numerical-corruption hook (the ``scf`` fault family);
         #: see :class:`repro.runtime.faults.SCFFaultState`
         self.scf_faults = None

@@ -35,6 +35,22 @@ Cross-process safety (service workers share store directories):
   manifest, never a manifest describing partial data;
 * a process that acquires the finalize lock and finds a valid store
   already on disk re-attaches to it instead of clobbering it.
+
+Data integrity (store format v2): ``index.npz`` carries a per-block
+CRC-32 array (``crcs``) written at finalize, and the manifest carries a
+whole-file SHA-256 of ``blocks.bin`` (``blocks_sha256``).  With
+``verify_reads`` enabled (the SCF ``integrity=`` knob arms it), every
+block is CRC-checked the *first* time it is served per attach
+(scrub-on-first-read): an intact block is marked verified and skips
+the check on later reads, so the steady-state cost is near zero, while
+a mismatching block is *not* served -- :meth:`get` returns None (the
+engine recomputes the quartet) and :meth:`verify_stacked` flags bad
+rows for the class-batched resolver to recompute -- and is never
+marked verified, so it is re-detected on every read.  The whole-file digest is only checked by the
+offline ``repro verify`` audit, keeping attach cheap.  A manifest with
+a different store format version is invalidated with
+:class:`StoreInvalidatedWarning` and refilled cleanly.  Threat model
+and detector costs: ``docs/ROBUSTNESS.md`` ("Silent data corruption").
 """
 
 from __future__ import annotations
@@ -51,13 +67,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.chem.basis.basisset import BasisSet
+from repro.runtime.sdc import block_crc
 
 try:
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX
     fcntl = None
 
-STORE_VERSION = 1
+# v2: index.npz gains per-block CRC-32s, manifest gains blocks_sha256
+STORE_VERSION = 2
 _MANIFEST = "manifest.json"
 _INDEX = "index.npz"
 _BLOCKS = "blocks.bin"
@@ -107,11 +125,18 @@ class ERIStore:
         self.ready = False
         self._keys: np.ndarray | None = None  # sorted packed keys
         self._offsets: np.ndarray | None = None  # element offsets, key order
+        self._crcs: np.ndarray | None = None  # per-block CRC-32, key order
+        self._verified: np.ndarray | None = None  # scrub-on-first-read marks
         self._flat: np.memmap | None = None
+        #: CRC-check every block on first read (armed by ``integrity=``)
+        self.verify_reads = False
+        self.crc_checks = 0
+        self.crc_mismatches = 0
         self._pending: dict[int, np.ndarray] = {}  # packed key -> flat block
         self._lock = threading.Lock()
         self._flock_depth = 0
         self._nshells = len(basis.shells)
+        self._reject_reason = "stale or unreadable manifest"
 
     @contextlib.contextmanager
     def _disk_lock(self):
@@ -167,20 +192,31 @@ class ERIStore:
                 if manifest is not None:
                     self._attach(manifest)
                     return self
-                self.invalidate("stale or unreadable manifest")
+                self.invalidate(self._reject_reason)
             self.filling = True
             self.ready = False
         return self
 
     def _load_valid_manifest(self) -> dict | None:
-        """The on-disk manifest iff it matches this basis and is complete."""
+        """The on-disk manifest iff it matches this basis and is complete.
+
+        On rejection, ``self._reject_reason`` says why -- a store format
+        version mismatch is named explicitly so the resulting
+        :class:`StoreInvalidatedWarning` is actionable.
+        """
+        self._reject_reason = "stale or unreadable manifest"
         try:
             manifest = json.loads((self.path / _MANIFEST).read_text())
         except (OSError, json.JSONDecodeError):
             return None
+        version = manifest.get("version")
+        if version != STORE_VERSION:
+            self._reject_reason = (
+                f"store format version {version!r} != expected {STORE_VERSION}"
+            )
+            return None
         if (
-            manifest.get("version") == STORE_VERSION
-            and manifest.get("basis_sha256") == self.fingerprint
+            manifest.get("basis_sha256") == self.fingerprint
             and (self.path / _INDEX).exists()
             and (self.path / _BLOCKS).exists()
         ):
@@ -191,6 +227,8 @@ class ERIStore:
         with np.load(self.path / _INDEX) as idx:
             self._keys = idx["keys"]
             self._offsets = idx["offsets"]
+            self._crcs = idx["crcs"]
+        self._verified = np.zeros(self._crcs.size, dtype=bool)
         self._flat = np.memmap(self.path / _BLOCKS, dtype=np.float64, mode="r")
         self.manifest = manifest
         self.ready = True
@@ -208,6 +246,8 @@ class ERIStore:
         self._flat = None
         self._keys = None
         self._offsets = None
+        self._crcs = None
+        self._verified = None
         self.manifest = None
         with self._disk_lock():
             # manifest first: a crash mid-invalidate must never leave a
@@ -275,16 +315,21 @@ class ERIStore:
                     self._pending.clear()
                     self._attach(existing)
                     return
+                crcs = np.array(
+                    [block_crc(b) for _, b in items], dtype=np.uint32
+                )
                 tmp_blocks = self.path / (_BLOCKS + ".tmp")
                 flat.tofile(tmp_blocks)
                 os.replace(tmp_blocks, self.path / _BLOCKS)
                 tmp_index = self.path / (_INDEX + ".tmp")
                 with open(tmp_index, "wb") as fh:
-                    np.savez(fh, keys=keys, offsets=offsets, sizes=sizes)
+                    np.savez(fh, keys=keys, offsets=offsets, sizes=sizes,
+                             crcs=crcs)
                 os.replace(tmp_index, self.path / _INDEX)
                 manifest = {
                     "version": STORE_VERSION,
                     "basis_sha256": self.fingerprint,
+                    "blocks_sha256": hashlib.sha256(flat.tobytes()).hexdigest(),
                     "basis_name": self.basis.name,
                     "tau": None if tau is None else float(tau),
                     "nbf": int(self.basis.nbf),
@@ -327,8 +372,40 @@ class ERIStore:
         rows = self._flat[offsets[:, None] + np.arange(block_size)]
         return rows.reshape((len(offsets),) + tuple(dims))
 
+    def verify_stacked(
+        self, offsets: np.ndarray, blocks: np.ndarray
+    ) -> np.ndarray:
+        """CRC-check blocks just gathered at ``offsets``; True where intact.
+
+        ``_offsets`` is a cumulative-sum array (ascending), so each
+        offset maps back to its key position by binary search.  Blocks
+        already scrubbed this attach skip the CRC; intact blocks are
+        marked scrubbed; a mismatch never is, so corruption stays
+        visible on every read.  The class-batched resolver recomputes
+        the rows flagged False.
+        """
+        pos = np.searchsorted(self._offsets, np.asarray(offsets, np.int64))
+        good = np.ones(len(offsets), dtype=bool)
+        todo = np.flatnonzero(~self._verified[pos])
+        if todo.size:
+            rows = np.ascontiguousarray(blocks, dtype=np.float64).reshape(
+                len(offsets), -1
+            )
+            for i in todo:
+                good[i] = block_crc(rows[i]) == int(self._crcs[pos[i]])
+            self._verified[pos[todo[good[todo]]]] = True
+            self.crc_checks += int(todo.size)
+            self.crc_mismatches += int((~good).sum())
+        return good
+
     def get(self, key: tuple[int, int, int, int]) -> np.ndarray | None:
-        """One canonical block (basis-function shape), or None if absent."""
+        """One canonical block (basis-function shape), or None if absent.
+
+        With ``verify_reads`` armed, a block whose bytes fail the CRC
+        recorded at finalize is *not* served: the method returns None
+        and the engine recomputes the quartet -- silent corruption in
+        the memmap becomes a counted recompute instead of a wrong F.
+        """
         if not self.ready:
             return None
         packed = self.pack(*key)
@@ -339,7 +416,14 @@ class ERIStore:
         shape = tuple(shells[s].nbf for s in key)
         off = int(self._offsets[pos])
         size = int(np.prod(shape))
-        return np.asarray(self._flat[off:off + size]).reshape(shape)
+        block = np.asarray(self._flat[off:off + size])
+        if self.verify_reads and not self._verified[pos]:
+            self.crc_checks += 1
+            if block_crc(block) != int(self._crcs[pos]):
+                self.crc_mismatches += 1
+                return None
+            self._verified[pos] = True
+        return block.reshape(shape)
 
     def stats(self) -> dict:
         """Snapshot for reports/tests."""
@@ -351,4 +435,7 @@ class ERIStore:
             "nbytes": self.nbytes,
             "pending_blocks": self.pending_blocks,
             "tau": None if self.manifest is None else self.manifest.get("tau"),
+            "verify_reads": self.verify_reads,
+            "crc_checks": int(self.crc_checks),
+            "crc_mismatches": int(self.crc_mismatches),
         }

@@ -387,6 +387,44 @@ def export_service(
     return reg
 
 
+def export_integrity(
+    summary: dict,
+    registry: MetricsRegistry | None = None,
+    prefix: str = "repro_integrity",
+) -> MetricsRegistry:
+    """Export a run's data-integrity counters.
+
+    ``summary`` is :meth:`repro.runtime.sdc.IntegrityMonitor.summary`:
+    detector executions by detector name, corruptions detected by kind
+    (store block, checkpoint, GA payload, F/D matrix), and recoveries
+    taken by action (recompute, rollback, retransmit).  A healthy run
+    exports non-zero checks and all-zero detections -- the observable
+    proof that the detectors ran and found nothing.
+    """
+    reg = registry if registry is not None else get_metrics()
+    checks = reg.counter(
+        f"{prefix}_checks_total", "integrity detector executions",
+        labelnames=("detector",),
+    )
+    for detector, n in summary.get("checks", {}).items():
+        checks.inc(int(n), detector=detector)
+    detections = reg.counter(
+        f"{prefix}_corruptions_detected_total",
+        "corruptions caught by an integrity layer",
+        labelnames=("kind",),
+    )
+    for kind, n in summary.get("detections", {}).items():
+        detections.inc(int(n), kind=kind)
+    recoveries = reg.counter(
+        f"{prefix}_recoveries_total",
+        "recovery-ladder rungs taken after a detection",
+        labelnames=("action",),
+    )
+    for action, n in summary.get("recoveries", {}).items():
+        recoveries.inc(int(n), action=action)
+    return reg
+
+
 _registry = MetricsRegistry()
 
 

@@ -133,6 +133,12 @@ DEFAULT_SPECS: tuple[MetricSpec, ...] = (
     MetricSpec("scf_guard", "energy_matches", kind="flag", quick=True),
     MetricSpec("scf_guard", "overhead", "lower", "absolute",
                warn=0.05, fail=0.10, quick=True, unit="frac"),
+    MetricSpec("fock_sdc", "passed", kind="flag", quick=True),
+    MetricSpec("fock_sdc", "energy_matches", kind="flag", quick=True),
+    MetricSpec("fock_sdc", "false_positives", "lower", "absolute",
+               warn=0.5, fail=0.5, quick=True),
+    MetricSpec("fock_sdc", "overhead", "lower", "absolute",
+               warn=0.05, fail=0.10, quick=True, unit="frac"),
     MetricSpec("phase_profiler", "overhead", "lower", "absolute",
                warn=0.05, fail=0.10, quick=True, unit="frac"),
     MetricSpec("phase_profiler", "wall_on_s", "lower", "relative",

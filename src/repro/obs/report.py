@@ -838,6 +838,9 @@ class RunReport:
     #: SCF convergence-guard summary (guarded SCF runs only):
     #: :meth:`repro.scf.guard.SCFGuard.summary` plus a ``trail`` list
     scf_guard: dict | None = None
+    #: data-integrity summary (``integrity=`` runs only):
+    #: :meth:`repro.runtime.sdc.IntegrityMonitor.summary`
+    integrity: dict | None = None
     #: phase-profiler stats (``PhaseProfiler.to_json()``) when a profiler
     #: was installed (``--profile``); None otherwise
     phases: list[dict] | None = None
@@ -937,6 +940,12 @@ def render_report(r: RunReport) -> str:
     if r.scf_guard is not None:
         guard_html = (
             "<section>" + scf_guard_section_html(r.scf_guard) + "</section>"
+        )
+
+    integrity_html = ""
+    if r.integrity is not None:
+        integrity_html = (
+            "<section>" + integrity_section_html(r.integrity) + "</section>"
         )
 
     phases_html = ""
@@ -1045,6 +1054,8 @@ measurements; a metric warns/fails when measured/model (folded to
 
 {guard_html}
 
+{integrity_html}
+
 {phases_html}
 
 {ops_html and f'<section>{ops_html}</section>'}
@@ -1117,6 +1128,59 @@ def scf_guard_section_html(g: dict) -> str:
         "remediation ladder is documented in docs/ROBUSTNESS.md.</p>"
         f'<div class="tiles">{tiles_html}</div>'
         f"{counts_html}{trail_html}"
+    )
+
+
+def integrity_section_html(d: dict) -> str:
+    """The data-integrity section body (tiles + per-kind count table).
+
+    ``d`` is :meth:`repro.runtime.sdc.IntegrityMonitor.summary`, with
+    an optional ``injections`` sub-dict (chaos runs only).
+    """
+    detections = int(d.get("detections_total", 0))
+    state_badge = _badge(PASS if detections == 0 else WARN)
+    tiles = (
+        (str(d.get("checks_total", 0)), "integrity checks run"),
+        (str(detections), "corruptions detected"),
+        (str(d.get("recoveries_total", 0)), "recoveries taken"),
+        (
+            str((d.get("injections") or {}).get("injections_total", 0)),
+            "injections (chaos)",
+        ),
+    )
+    tiles_html = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="l">{_esc(label)}</div></div>'
+        for v, label in tiles
+    )
+    rows = "".join(
+        f"<tr><td>{_esc(k)}</td><td>{v}</td><td>detector runs</td></tr>"
+        for k, v in sorted((d.get("checks") or {}).items())
+    ) + "".join(
+        f"<tr><td>{_esc(k)}</td><td>{v}</td><td>detection</td></tr>"
+        for k, v in sorted((d.get("detections") or {}).items())
+    ) + "".join(
+        f"<tr><td>{_esc(k)}</td><td>{v}</td><td>recovery</td></tr>"
+        for k, v in sorted((d.get("recoveries") or {}).items())
+    )
+    counts_html = (
+        "<table><thead><tr><th>name</th><th>count</th><th>kind</th></tr>"
+        f"</thead><tbody>{rows}</tbody></table>"
+        if rows
+        else '<p class="caption">no detectors ran.</p>'
+    )
+    return (
+        "<h2>Data integrity</h2>"
+        '<p class="caption">Checksums (store CRC-32, checkpoint digests, '
+        "GA payload trailers) and ABFT-style algebraic detectors "
+        "(symmetry residuals, the Tr(D&middot;S)&nbsp;=&nbsp;n"
+        "<sub>occ</sub> invariant) over this run: "
+        f"<strong>{detections}</strong> corruption(s) detected "
+        f"{state_badge} &mdash; metric names are "
+        "<code>repro_integrity_*</code> (docs/OBSERVABILITY.md); threat "
+        "model and recovery ladder in docs/ROBUSTNESS.md.</p>"
+        f'<div class="tiles">{tiles_html}</div>'
+        f"{counts_html}"
     )
 
 
@@ -1488,6 +1552,13 @@ def render_ledger_report(record: Any) -> str:
         profile_html = (
             "<section>" + phase_section_html(phases, hotspots) + "</section>"
         )
+    integrity_html = ""
+    if isinstance(summary.get("integrity"), dict):
+        integrity_html = (
+            "<section>"
+            + integrity_section_html(summary["integrity"])
+            + "</section>"
+        )
     traj_html = _scf_trajectory_html(record.snapshots)
     if traj_html:
         traj_html = f"<section>{traj_html}</section>"
@@ -1527,6 +1598,8 @@ is the SHA-256 of the canonicalized config below.</p>
 </section>
 
 {traj_html}
+
+{integrity_html}
 
 {profile_html}
 

@@ -12,6 +12,14 @@ built on.  This module reproduces those semantics on a single host:
   block* touched (one GA call per owner, as in real GA strided access),
   and charged to the caller's virtual clock via
   :class:`~repro.runtime.network.CommStats`.
+
+Payload integrity (``checksums=True``): every accumulate payload
+carries a CRC-32 trailer, charged as 4 bytes of overhead per per-owner
+transfer.  The receiver verifies the payload before applying it; a
+mismatch (an attached :class:`~repro.runtime.sdc.SDCFaultState` can
+corrupt payloads in flight) is rejected and the clean payload is
+retransmitted on the ``retry`` flight channel -- silent wire corruption
+becomes counted overhead instead of a wrong matrix.
 """
 
 from __future__ import annotations
@@ -20,8 +28,9 @@ import math
 
 import numpy as np
 
-from repro.obs.flight import CH_COUNTER, CH_GA
+from repro.obs.flight import CH_COUNTER, CH_GA, CH_RETRY
 from repro.runtime.network import CommStats
+from repro.runtime.sdc import block_crc
 
 
 def grid_shape(nproc: int) -> tuple[int, int]:
@@ -54,6 +63,15 @@ class GlobalArray:
         Partition boundaries; process ``(i, j)`` of the grid owns
         ``[row_bounds[i]:row_bounds[i+1], col_bounds[j]:col_bounds[j+1]]``.
         The grid shape is implied by the boundary lengths.
+    checksums:
+        CRC-32 trailer on every accumulate payload, verified at the
+        receiver; 4 bytes of charged overhead per per-owner transfer.
+    sdc:
+        Optional :class:`~repro.runtime.sdc.SDCFaultState` that may
+        corrupt accumulate payloads in flight.
+    monitor:
+        Optional :class:`~repro.runtime.sdc.IntegrityMonitor` that
+        tallies payload checks/detections/retransmits run-wide.
     """
 
     def __init__(
@@ -63,6 +81,10 @@ class GlobalArray:
         cols: int,
         row_bounds: np.ndarray,
         col_bounds: np.ndarray,
+        *,
+        checksums: bool = False,
+        sdc=None,
+        monitor=None,
     ):
         self.stats = stats
         self.rows = rows
@@ -82,6 +104,13 @@ class GlobalArray:
         self._applied_tags: set = set()
         #: open epochs: staged (r0, c0, block) accumulates, not yet visible
         self._staged: dict = {}
+        self.checksums = checksums
+        self.sdc = sdc
+        self.monitor = monitor
+        #: accumulate payloads CRC-verified at the receiver
+        self.checksum_checks = 0
+        #: payloads rejected for a CRC mismatch (and retransmitted)
+        self.checksum_rejects = 0
 
     @property
     def nproc(self) -> int:
@@ -145,6 +174,7 @@ class GlobalArray:
         c1: int,
         channel: str,
         want_acks: bool = False,
+        pad_bytes: int = 0,
     ) -> int:
         """Charge a request split per owner; returns ack-lost attempt count.
 
@@ -152,11 +182,12 @@ class GlobalArray:
         draws its transient failures (retries charged on the ``retry``
         channel by :meth:`CommStats.charge_fault_attempts`); the base
         charge then skips the fault consultation to avoid double draws.
+        ``pad_bytes`` is per-owner framing overhead (the CRC trailer).
         """
         es = self.stats.config.element_size
         lost = 0
         for owner, rs, cs in self._owners_touched(r0, r1, c0, c1, proc):
-            nbytes = (rs.stop - rs.start) * (cs.stop - cs.start) * es
+            nbytes = (rs.stop - rs.start) * (cs.stop - cs.start) * es + pad_bytes
             remote = owner != proc
             if remote and self.stats.faults is not None:
                 lost += self.stats.charge_fault_attempts(
@@ -210,9 +241,40 @@ class GlobalArray:
           :meth:`commit_epoch` makes it visible.  A rank that dies
           mid-flush leaves an uncommitted epoch behind, so its partial
           flush is never double-counted against the recovery re-flush.
+
+        With ``checksums`` enabled, the payload's CRC-32 trailer is
+        verified at the receiver before the addition is applied; a
+        corrupted-in-flight payload is rejected and retransmitted on
+        the ``retry`` channel, so the applied value is always clean.
+        Without checksums, an attached ``sdc`` state corrupts payloads
+        *silently* -- deliberately, so tests can demonstrate the hazard
+        the trailer closes.
         """
         r1, c1 = r0 + block.shape[0], c0 + block.shape[1]
-        lost = self._charge(proc, r0, r1, c0, c1, channel, want_acks=True)
+        pad = 4 if self.checksums else 0
+        lost = self._charge(
+            proc, r0, r1, c0, c1, channel, want_acks=True, pad_bytes=pad
+        )
+        if self.sdc is not None:
+            wire = self.sdc.corrupt_payload(block)
+        else:
+            wire = block
+        if self.checksums:
+            self.checksum_checks += 1
+            if self.monitor is not None:
+                self.monitor.record_check("ga_payload_crc")
+            if block_crc(wire) != block_crc(block):
+                # receiver rejects the damaged payload; the clean one is
+                # retransmitted (charged as a retry) and applied instead
+                self.checksum_rejects += 1
+                self._charge(
+                    proc, r0, r1, c0, c1, CH_RETRY, pad_bytes=pad
+                )
+                if self.monitor is not None:
+                    self.monitor.record_detection("ga_payload")
+                    self.monitor.record_recovery("retransmit")
+                wire = block
+        block = wire
         if tag is not None:
             if tag in self._applied_tags:
                 return

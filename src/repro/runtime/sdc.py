@@ -1,0 +1,473 @@
+"""Silent-data-corruption (SDC) fault family + the integrity layer.
+
+PR 4/5/9 made the stack survive *loud* failures: dead ranks, NaN
+numerics, killed workers.  This module covers the fourth leg -- silent
+corruption that still parses: a bit-flipped checkpoint file, a torn
+store block, a damaged accumulate payload, a memory flip in the Fock
+matrix between iterations.  Nothing raises; the bytes are simply wrong.
+
+Two halves, mirroring :mod:`repro.runtime.faults`:
+
+* **Injection** -- :class:`SDCFaultPlan` / :class:`SDCFaultState`, a
+  declarative seeded plan that flips bits in checkpoint files
+  post-write, on-disk ERI store blocks, GA accumulate payloads in
+  flight, and in-memory F/D matrices between SCF iterations.  One
+  seeded :class:`numpy.random.Generator` drives every draw, so a chaos
+  run is reproducible from its seed alone.  In-memory matrix flips
+  target *exponent* bits of a significant element (and off-diagonal
+  positions for symmetric targets), modelling the SDC that matters: a
+  low-mantissa flip is numerically harmless and genuinely below any
+  detector's floor, while an exponent flip silently wrecks the run.
+* **Detection** -- :class:`IntegrityMonitor`, the run-wide accounting
+  object behind the ``integrity=`` knob: cheap ABFT-style algebraic
+  detectors on the hot path (F/D symmetry residual, Tr(D S) = n_occ)
+  plus counters for every checksum layer (store CRCs, checkpoint
+  digests, GA payload checksums) and every recovery taken (recompute,
+  rollback, quarantine).  :func:`export_integrity
+  <repro.obs.metrics.export_integrity>` bridges the counters to
+  metrics; ``repro chaos --family sdc`` asserts zero silent
+  acceptances (:mod:`repro.fock.chaos`); ``repro verify`` audits a
+  directory offline (:mod:`repro.obs.verify`).
+
+Checksums use CRC-32 (:func:`zlib.crc32` -- zero-dependency and
+C-speed; a production deployment would use hardware CRC32C, same
+framing) for per-block/per-payload framing and SHA-256 for whole-file
+digests.  See ``docs/ROBUSTNESS.md`` ("Silent data corruption") for
+the threat model, detector costs, and the recovery ladder.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+
+class IntegrityError(RuntimeError):
+    """Corruption was detected and no recovery rung could repair it.
+
+    The service worker maps this to a non-retryable failure
+    (quarantine): re-running a job against the same corrupt state
+    cannot help, a human must look at the artifacts.
+    """
+
+
+# ---------------------------------------------------------------------------
+# checksum helpers (shared by store framing, GA payloads, checkpoints)
+# ---------------------------------------------------------------------------
+
+
+def block_crc(a: np.ndarray) -> int:
+    """CRC-32 of one array's float64 bytes (payload/block framing)."""
+    return zlib.crc32(np.ascontiguousarray(a, dtype=np.float64).tobytes())
+
+
+def crc_rows(flat: np.ndarray) -> np.ndarray:
+    """Per-row CRC-32 of a 2-D float64 array, as ``uint32``."""
+    flat = np.ascontiguousarray(flat, dtype=np.float64)
+    out = np.empty(flat.shape[0], dtype=np.uint32)
+    for i in range(flat.shape[0]):
+        out[i] = zlib.crc32(flat[i].tobytes())
+    return out
+
+
+def flip_bit_in_file(path: str | Path, rng: np.random.Generator) -> int:
+    """Flip one seeded-random bit of a file in place; returns the offset."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot corrupt empty file {path}")
+    pos = int(rng.integers(len(data)))
+    data[pos] ^= 1 << int(rng.integers(8))
+    path.write_bytes(bytes(data))
+    return pos
+
+
+def _flip_exponent_bit(x: float, rng: np.random.Generator) -> float:
+    """Flip one exponent bit of a float64 -- a large, *finite-looking*
+    change (the value scales by a power of two, it does not NaN)."""
+    bits = np.float64(x).view(np.uint64)
+    bit = 52 + int(rng.integers(11))  # one of the 11 exponent bits
+    return float((bits ^ np.uint64(1) << np.uint64(bit)).view(np.float64))
+
+
+# ---------------------------------------------------------------------------
+# the sdc fault family
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SDCFaultPlan:
+    """Declarative silent-corruption faults, seeded like every plan.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the generator behind every corruption draw.
+    checkpoint_flip_rate:
+        Per written snapshot file, the probability that one random bit
+        of the ``.npz`` is flipped *after* the atomic rename (the
+        bad-disk / torn-page model).  The file still exists and may
+        still parse -- only the payload digest can tell.
+    store_flips:
+        Number of distinct on-disk ERI store blocks to bit-flip (drawn
+        once per store, via :meth:`SDCFaultState.corrupt_store_dir`).
+    payload_flip_rate:
+        Per GA accumulate, the probability the payload is corrupted in
+        flight (one exponent-bit flip of one element).
+    fock_flip_iterations / density_flip_iterations:
+        SCF iteration numbers (1-based) at which one significant
+        element of the freshly built Fock (resp. density) matrix gets
+        an exponent-bit flip -- the in-memory corruption the ABFT
+        detectors must catch.  Each (iteration, target) fault fires
+        exactly once, so a detected-and-rebuilt matrix is clean.
+    max_corruptions:
+        Hard cap on total injected corruptions (0 = unlimited).
+    """
+
+    seed: int = 0
+    checkpoint_flip_rate: float = 0.0
+    store_flips: int = 0
+    payload_flip_rate: float = 0.0
+    fock_flip_iterations: tuple[int, ...] = ()
+    density_flip_iterations: tuple[int, ...] = ()
+    max_corruptions: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("checkpoint_flip_rate", "payload_flip_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.store_flips < 0:
+            raise ValueError(f"store_flips must be >= 0, got {self.store_flips}")
+        for name in ("fock_flip_iterations", "density_flip_iterations"):
+            for it in getattr(self, name):
+                if it < 1:
+                    raise ValueError(
+                        f"{name} entries are 1-based iteration numbers, got {it}"
+                    )
+        if self.max_corruptions < 0:
+            raise ValueError(
+                f"max_corruptions must be >= 0, got {self.max_corruptions}"
+            )
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(
+            self.checkpoint_flip_rate
+            or self.store_flips
+            or self.payload_flip_rate
+            or self.fock_flip_iterations
+            or self.density_flip_iterations
+        )
+
+    def activate(self) -> "SDCFaultState":
+        return SDCFaultState(self)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.checkpoint_flip_rate:
+            parts.append(f"ckpt_flip={self.checkpoint_flip_rate:g}")
+        if self.store_flips:
+            parts.append(f"store_flips={self.store_flips}")
+        if self.payload_flip_rate:
+            parts.append(f"payload_flip={self.payload_flip_rate:g}")
+        if self.fock_flip_iterations:
+            parts.append(
+                "fock_flip@it="
+                + ",".join(str(i) for i in self.fock_flip_iterations)
+            )
+        if self.density_flip_iterations:
+            parts.append(
+                "density_flip@it="
+                + ",".join(str(i) for i in self.density_flip_iterations)
+            )
+        if self.max_corruptions:
+            parts.append(f"max={self.max_corruptions}")
+        return " ".join(parts)
+
+
+class SDCFaultState:
+    """An activated :class:`SDCFaultPlan`: seeded rng + injection counters."""
+
+    def __init__(self, plan: SDCFaultPlan):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        #: checkpoint files bit-flipped post-write
+        self.files_corrupted = 0
+        #: on-disk store blocks bit-flipped
+        self.blocks_corrupted = 0
+        #: GA accumulate payloads corrupted in flight
+        self.payloads_corrupted = 0
+        #: in-memory F/D matrices corrupted between iterations
+        self.matrices_corrupted = 0
+        #: (iteration, target) matrix faults that already fired
+        self._fired: set[tuple[int, str]] = set()
+
+    @property
+    def injections_total(self) -> int:
+        return (
+            self.files_corrupted
+            + self.blocks_corrupted
+            + self.payloads_corrupted
+            + self.matrices_corrupted
+        )
+
+    def _budget_left(self) -> bool:
+        cap = self.plan.max_corruptions
+        return cap == 0 or self.injections_total < cap
+
+    def corrupt_file(self, path: str | Path) -> bool:
+        """Maybe flip one bit of a just-written file; True if it fired.
+
+        The draw consumes the rng whether or not corruption fires, so
+        an sdc run is reproducible from the plan's seed alone.
+        """
+        if self.plan.checkpoint_flip_rate <= 0.0:
+            return False
+        fire = self.rng.random() < self.plan.checkpoint_flip_rate
+        if not fire or not self._budget_left():
+            return False
+        flip_bit_in_file(path, self.rng)
+        self.files_corrupted += 1
+        return True
+
+    def corrupt_store_dir(self, path: str | Path) -> int:
+        """Bit-flip ``store_flips`` distinct blocks of an on-disk ERI store.
+
+        Operates directly on ``blocks.bin`` using the offsets/sizes in
+        ``index.npz`` (no :class:`~repro.integrals.store.ERIStore`
+        needed), modelling a disk that rots under a finalized store.
+        Returns how many blocks were corrupted.
+        """
+        path = Path(path)
+        if self.plan.store_flips <= 0:
+            return 0
+        with np.load(path / "index.npz") as idx:
+            offsets = idx["offsets"]
+            sizes = idx["sizes"]
+        nblocks = int(offsets.size)
+        nflips = min(self.plan.store_flips, nblocks)
+        victims = self.rng.choice(nblocks, size=nflips, replace=False)
+        with open(path / "blocks.bin", "r+b") as fh:
+            for b in victims:
+                if not self._budget_left():
+                    break
+                elem = int(offsets[b] + self.rng.integers(int(sizes[b])))
+                byte = elem * 8 + int(self.rng.integers(8))
+                fh.seek(byte)
+                old = fh.read(1)[0]
+                fh.seek(byte)
+                fh.write(bytes([old ^ (1 << int(self.rng.integers(8)))]))
+                self.blocks_corrupted += 1
+        return self.blocks_corrupted
+
+    def corrupt_payload(self, block: np.ndarray) -> np.ndarray:
+        """Maybe corrupt one GA accumulate payload in flight."""
+        if self.plan.payload_flip_rate <= 0.0:
+            return block
+        fire = self.rng.random() < self.plan.payload_flip_rate
+        if not fire or block.size == 0 or not self._budget_left():
+            return block
+        out = np.array(block, dtype=np.float64)
+        flat = out.reshape(-1)
+        i = int(self.rng.integers(flat.size))
+        flat[i] = _flip_exponent_bit(float(flat[i]), self.rng)
+        self.payloads_corrupted += 1
+        return out
+
+    def corrupt_matrix(
+        self, a: np.ndarray, iteration: int, which: str
+    ) -> np.ndarray:
+        """Maybe exponent-flip one significant element of an SCF matrix.
+
+        Fires at most once per (iteration, target).  The victim element
+        is drawn among entries with non-negligible magnitude (an
+        exponent flip of a hard zero yields a denormal -- real, but
+        numerically invisible and below any detector's floor), and
+        off-diagonal positions are preferred so symmetric targets stay
+        detectable by the symmetry residual.
+        """
+        targets = (
+            self.plan.fock_flip_iterations
+            if which == "fock"
+            else self.plan.density_flip_iterations
+        )
+        key = (int(iteration), which)
+        if iteration not in targets or key in self._fired:
+            return a
+        if a.size == 0 or not self._budget_left():
+            return a
+        self._fired.add(key)
+        out = np.array(a, dtype=np.float64)
+        scale = float(np.max(np.abs(out)))
+        significant = np.abs(out) > 1e-6 * max(scale, 1e-300)
+        if out.ndim == 2 and out.shape[0] == out.shape[1]:
+            offdiag = ~np.eye(out.shape[0], dtype=bool)
+            if (significant & offdiag).any():
+                significant &= offdiag
+        idx = np.flatnonzero(significant.reshape(-1))
+        if idx.size == 0:
+            idx = np.arange(out.size)
+        flat = out.reshape(-1)
+        i = int(idx[self.rng.integers(idx.size)])
+        flat[i] = _flip_exponent_bit(float(flat[i]), self.rng)
+        self.matrices_corrupted += 1
+        return out
+
+    def summary(self) -> dict:
+        """Injection counters for reports and the chaos CLI."""
+        return {
+            "files_corrupted": int(self.files_corrupted),
+            "blocks_corrupted": int(self.blocks_corrupted),
+            "payloads_corrupted": int(self.payloads_corrupted),
+            "matrices_corrupted": int(self.matrices_corrupted),
+            "injections_total": int(self.injections_total),
+            "plan": self.plan.describe(),
+        }
+
+
+def random_sdc_plan(seed: int) -> SDCFaultPlan:
+    """Seeded random :class:`SDCFaultPlan` for ``repro chaos --family sdc``.
+
+    Corrupts a handful of store blocks, roughly a third of the written
+    checkpoints, and one early Fock and density matrix each; the same
+    seed always yields the same plan.
+    """
+    rng = np.random.default_rng(seed)
+    return SDCFaultPlan(
+        seed=seed,
+        checkpoint_flip_rate=0.34,
+        store_flips=int(rng.integers(2, 5)),
+        payload_flip_rate=0.05,
+        fock_flip_iterations=(int(rng.integers(2, 4)),),
+        density_flip_iterations=(int(rng.integers(4, 6)),),
+        max_corruptions=64,
+    )
+
+
+# ---------------------------------------------------------------------------
+# detection: ABFT-style detectors + run-wide integrity accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntegrityConfig:
+    """Tolerances of the hot-path algebraic detectors.
+
+    ``sym_tol`` bounds the relative symmetry residual
+    ``max|A - A^T| / max(1, max|A|)`` of F and D; ``trace_tol`` bounds
+    ``|Tr(D S) - n_occ|`` (both are exact identities of RHF up to
+    rounding, so the defaults sit orders of magnitude above honest
+    float64 noise and orders below any exponent-bit flip).
+    """
+
+    sym_tol: float = 1e-8
+    trace_tol: float = 1e-6
+
+
+class IntegrityMonitor:
+    """Run-wide integrity accounting behind the ``integrity=`` knob.
+
+    One instance per run.  The hot-path detectors
+    (:meth:`check_fock` / :meth:`check_density`) return False on
+    detection *and* count it; the checksum layers (store CRCs,
+    checkpoint digests, GA payload checksums) report their detections
+    via :meth:`record_detection`, and every recovery rung taken is
+    tallied via :meth:`record_recovery` -- so one ``summary()`` carries
+    the complete detect/recover story for metrics, reports, and the
+    chaos gate.
+    """
+
+    def __init__(
+        self,
+        overlap: np.ndarray | None = None,
+        nocc: int | None = None,
+        config: IntegrityConfig | None = None,
+    ):
+        self.overlap = overlap
+        self.nocc = nocc
+        self.config = config or IntegrityConfig()
+        #: detector runs, keyed by detector name
+        self.checks: dict[str, int] = {}
+        #: corruptions detected, keyed by kind
+        self.detections: dict[str, int] = {}
+        #: recoveries taken, keyed by action
+        self.recoveries: dict[str, int] = {}
+
+    # -- accounting ----------------------------------------------------------
+
+    def record_check(self, detector: str, n: int = 1) -> None:
+        self.checks[detector] = self.checks.get(detector, 0) + n
+
+    def record_detection(self, kind: str, n: int = 1) -> None:
+        if n > 0:
+            self.detections[kind] = self.detections.get(kind, 0) + n
+
+    def record_recovery(self, action: str, n: int = 1) -> None:
+        if n > 0:
+            self.recoveries[action] = self.recoveries.get(action, 0) + n
+
+    @property
+    def checks_total(self) -> int:
+        return sum(self.checks.values())
+
+    @property
+    def detections_total(self) -> int:
+        return sum(self.detections.values())
+
+    @property
+    def recoveries_total(self) -> int:
+        return sum(self.recoveries.values())
+
+    # -- hot-path ABFT detectors --------------------------------------------
+
+    def _symmetry_ok(self, a: np.ndarray) -> bool:
+        residual = float(np.max(np.abs(a - a.T)))
+        return residual <= self.config.sym_tol * max(1.0, float(np.max(np.abs(a))))
+
+    def check_fock(self, f: np.ndarray, iteration: int) -> bool:
+        """F must be finite and symmetric (F = F^T is exact in RHF)."""
+        self.record_check("fock_symmetry")
+        ok = bool(np.isfinite(f).all()) and self._symmetry_ok(f)
+        if not ok:
+            self.record_detection("fock_matrix")
+        return ok
+
+    def check_density(self, d: np.ndarray, iteration: int) -> bool:
+        """D must be finite, symmetric, and carry Tr(D S) = n_occ."""
+        self.record_check("density_symmetry")
+        ok = bool(np.isfinite(d).all()) and self._symmetry_ok(d)
+        if ok and self.overlap is not None and self.nocc is not None:
+            self.record_check("density_trace")
+            tr = float(np.sum(d * self.overlap.T))
+            ok = abs(tr - self.nocc) <= self.config.trace_tol * max(1.0, self.nocc)
+        if not ok:
+            self.record_detection("density_matrix")
+        return ok
+
+    def check_chunk_bound(
+        self, blocks: np.ndarray, bound: float, slack: float = 10.0
+    ) -> bool:
+        """Schwarz-bound detector: no ERI chunk element may exceed its
+        Cauchy-Schwarz bound (times ``slack`` for rounding headroom)."""
+        self.record_check("schwarz_bound")
+        ok = float(np.max(np.abs(blocks))) <= slack * bound if blocks.size else True
+        if not ok:
+            self.record_detection("eri_chunk")
+        return ok
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Integrity counters for metrics, reports, and the chaos CLI."""
+        return {
+            "checks": dict(sorted(self.checks.items())),
+            "detections": dict(sorted(self.detections.items())),
+            "recoveries": dict(sorted(self.recoveries.items())),
+            "checks_total": self.checks_total,
+            "detections_total": self.detections_total,
+            "recoveries_total": self.recoveries_total,
+        }

@@ -20,16 +20,27 @@ Format (``scf_ckpt_NNNN.npz``, one file per iteration):
   run resumes with the same damping / level shift / sticky fallbacks.
   Absent in pre-guard snapshots; loading those yields ``guard=None``.
 
+* ``payload_sha256`` -- SHA-256 digest over every other entry's bytes,
+  written at save time and verified on load.  Absent in pre-integrity
+  snapshots; those load without digest verification.
+
 Writes are atomic (tmp file + ``os.replace``), so a rank dying mid-write
-never corrupts the latest complete snapshot.  Reads are defensive: a
-truncated or otherwise unreadable snapshot (the disk filled up, the
-file was hand-edited) is skipped with a
-:class:`CheckpointCorruptionWarning` and the restart falls back to the
-most recent *intact* iteration (:func:`load_latest_intact`).
+never corrupts the latest complete snapshot.  Reads are defensive
+against *silent* damage as well as loud damage: a snapshot that is
+unreadable, fails its payload digest, carries NaN/Inf, or has
+mismatched array shapes (a bit-flipped file can still parse!) is
+skipped with a :class:`CheckpointCorruptionWarning` and the restart
+falls back to the most recent *intact* iteration
+(:func:`load_latest_intact`).  ``np.savez`` stores entries uncompressed
+inside a ZIP container whose per-entry CRC-32 is checked by
+``zipfile`` on read, so most bit flips already raise there; the digest
+catches flips the container tolerates (headers, padding), and the
+NaN/Inf + shape validation catches semantic damage.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -40,10 +51,36 @@ from pathlib import Path
 import numpy as np
 
 _CKPT_RE = re.compile(r"^scf_ckpt_(\d{4,})\.npz$")
+_DIGEST_KEY = "payload_sha256"
 
 
 class CheckpointCorruptionWarning(UserWarning):
     """A snapshot on disk could not be read and was skipped."""
+
+
+class CheckpointIntegrityError(ValueError):
+    """A snapshot parsed but failed integrity validation.
+
+    Raised when the payload digest does not match the stored
+    ``payload_sha256``, when an array carries NaN/Inf, or when shapes
+    are inconsistent.  :func:`load_latest_intact` treats it like any
+    other corruption: warn and fall back to an older snapshot.
+    """
+
+
+def payload_digest(payload: dict) -> str:
+    """SHA-256 over every payload entry's bytes, in sorted key order."""
+    h = hashlib.sha256()
+    for key in sorted(payload):
+        if key == _DIGEST_KEY:
+            continue
+        val = payload[key]
+        h.update(key.encode())
+        if np.asarray(val).dtype.kind == "U":
+            h.update(str(val).encode())
+        else:
+            h.update(np.ascontiguousarray(val).tobytes())
+    return h.hexdigest()
 
 
 @dataclass
@@ -99,6 +136,7 @@ def save_checkpoint(
     }
     if guard is not None:
         payload["guard_json"] = np.str_(guard.state_json())
+    payload[_DIGEST_KEY] = np.str_(payload_digest(payload))
     path = checkpoint_path(directory, iteration)
     tmp = path.with_suffix(".npz.tmp")
     with open(tmp, "wb") as fh:
@@ -107,20 +145,66 @@ def save_checkpoint(
     return path
 
 
-def load_checkpoint(path: str | Path) -> Checkpoint:
+def load_checkpoint(path: str | Path, verify: bool = True) -> Checkpoint:
+    """Load one snapshot, verifying integrity unless ``verify=False``.
+
+    Verification re-derives the payload digest and compares it against
+    the stored ``payload_sha256`` (when present -- pre-integrity
+    snapshots have none), then validates the arrays themselves: all
+    entries finite, ``density`` square, DIIS stacks ``(k, n, n)`` with
+    ``n`` matching the density.  Failure raises
+    :class:`CheckpointIntegrityError`.
+    """
     with np.load(path) as z:
-        guard = None
-        if "guard_json" in z.files:
-            guard = json.loads(str(z["guard_json"]))
-        return Checkpoint(
-            iteration=int(z["iteration"]),
-            density=z["density"],
-            energy=float(z["energy"]),
-            energy_history=[float(e) for e in z["energy_history"]],
-            diis_focks=list(z["diis_focks"]),
-            diis_errors=list(z["diis_errors"]),
-            guard=guard,
+        arrays = {name: z[name] for name in z.files}
+    if verify:
+        if _DIGEST_KEY in arrays:
+            stored = str(arrays[_DIGEST_KEY])
+            if payload_digest(arrays) != stored:
+                raise CheckpointIntegrityError(
+                    f"payload digest mismatch in {path}"
+                )
+        _validate_arrays(arrays, path)
+    guard = None
+    if "guard_json" in arrays:
+        guard = json.loads(str(arrays["guard_json"]))
+    return Checkpoint(
+        iteration=int(arrays["iteration"]),
+        density=arrays["density"],
+        energy=float(arrays["energy"]),
+        energy_history=[float(e) for e in arrays["energy_history"]],
+        diis_focks=list(arrays["diis_focks"]),
+        diis_errors=list(arrays["diis_errors"]),
+        guard=guard,
+    )
+
+
+def _validate_arrays(arrays: dict, path) -> None:
+    """Semantic validation: finite values, consistent shapes."""
+    density = arrays["density"]
+    if density.ndim != 2 or density.shape[0] != density.shape[1]:
+        raise CheckpointIntegrityError(
+            f"density shape {density.shape} is not square in {path}"
         )
+    n = density.shape[0]
+    for name in ("density", "energy", "energy_history"):
+        if not np.isfinite(arrays[name]).all():
+            raise CheckpointIntegrityError(
+                f"non-finite values in '{name}' of {path}"
+            )
+    for name in ("diis_focks", "diis_errors"):
+        stack = arrays[name]
+        if stack.ndim != 3 or (
+            stack.shape[0] and stack.shape[1:] != (n, n)
+        ):
+            raise CheckpointIntegrityError(
+                f"'{name}' shape {stack.shape} inconsistent with "
+                f"density n={n} in {path}"
+            )
+        if not np.isfinite(stack).all():
+            raise CheckpointIntegrityError(
+                f"non-finite values in '{name}' of {path}"
+            )
 
 
 def latest_checkpoint(directory: str | Path) -> Path | None:
@@ -164,18 +248,20 @@ def prune_checkpoints(directory: str | Path, keep: int = 3) -> int:
 
 
 def load_latest_intact(directory: str | Path) -> Checkpoint | None:
-    """The most recent snapshot that actually loads.
+    """The most recent snapshot that loads *and* passes integrity checks.
 
-    A truncated ``.npz`` (crash mid-``os.replace`` on exotic
-    filesystems, full disk, hand-editing) must not kill the restart: it
-    is skipped with a :class:`CheckpointCorruptionWarning` and the next
+    A snapshot that is truncated (crash mid-``os.replace`` on exotic
+    filesystems, full disk), fails its payload digest or the ZIP
+    container's CRC (bit rot), carries NaN/Inf, or has mismatched
+    shapes must not kill -- or silently poison -- the restart: it is
+    skipped with a :class:`CheckpointCorruptionWarning` and the next
     older snapshot is tried.  Returns None when no intact snapshot
     exists.
     """
     for path in checkpoint_paths(directory):
         try:
-            return load_checkpoint(path)
-        except Exception as exc:  # np.load raises zipfile/OS/Value errors
+            return load_checkpoint(path, verify=True)
+        except Exception as exc:  # zipfile/OS/Value/Integrity errors
             warnings.warn(
                 f"skipping corrupted checkpoint {path}: "
                 f"{type(exc).__name__}: {exc}",

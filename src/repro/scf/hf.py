@@ -28,6 +28,7 @@ from repro.obs.profile import (
     get_profiler,
 )
 from repro.runtime.faults import SCFFaultPlan
+from repro.runtime.sdc import IntegrityError, IntegrityMonitor, SDCFaultPlan
 from repro.scf.checkpoint import load_latest_intact, save_checkpoint
 from repro.scf.diis import DIIS
 from repro.scf.fock import fock_matrix, hf_electronic_energy
@@ -55,6 +56,9 @@ class SCFResult:
     guard_events: list[GuardEvent] = field(default_factory=list)
     #: :meth:`repro.scf.guard.SCFGuard.summary` (None when the guard is off)
     guard_summary: dict | None = None
+    #: :meth:`repro.runtime.sdc.IntegrityMonitor.summary` (None when the
+    #: ``integrity`` knob is off)
+    integrity_summary: dict | None = None
 
     @property
     def homo_lumo_gap(self) -> float | None:
@@ -130,6 +134,27 @@ class RHF:
         seeded NaN/Inf corruption into the batched ERI path and SCF
         matrices (the ``repro chaos --family scf`` harness and the
         torture suite); usually combined with ``guard``.
+    integrity:
+        End-to-end data-integrity layer (default off, zero hot-path
+        cost).  Arms CRC verification of every integral-store read
+        (mismatched blocks are recomputed), payload-digest + NaN/shape
+        validation of restart checkpoints, and cheap ABFT-style
+        algebraic detectors after every Fock build and density step
+        (symmetry residuals, the Tr(D S) = n_occ invariant).  Detected
+        corruption climbs a recovery ladder -- recompute the offending
+        object, roll back the density to the last verified checkpoint
+        -- and raises :class:`~repro.runtime.sdc.IntegrityError` only
+        when no rung repairs it (the service layer quarantines such
+        jobs).  The full detect/recover accounting lands on
+        ``SCFResult.integrity_summary`` and the ``repro_integrity_*``
+        metrics.  See ``docs/ROBUSTNESS.md`` ("Silent data corruption").
+    sdc_faults:
+        Optional :class:`~repro.runtime.sdc.SDCFaultPlan` injecting
+        seeded *silent* corruption (bit flips in checkpoint files
+        post-write and exponent flips in F/D between iterations) for
+        the ``repro chaos --family sdc`` harness; combine with
+        ``integrity=True`` or the corruption goes undetected -- which
+        is exactly the hazard the gate demonstrates.
     on_iteration:
         Optional callback ``(iteration, energy)`` invoked after every
         completed iteration, *after* its checkpoint (if any) is durably
@@ -156,6 +181,8 @@ class RHF:
     restart: bool = False
     guard: GuardConfig | bool | None = None
     faults: SCFFaultPlan | None = None
+    integrity: bool = False
+    sdc_faults: SDCFaultPlan | None = None
     on_iteration: Callable[[int, float], None] | None = None
 
     def __post_init__(self) -> None:
@@ -230,6 +257,12 @@ class RHF:
         if self.faults is not None and self.faults.has_faults:
             fault_state = self.faults.activate()
         self.engine.scf_faults = fault_state
+        sdc_state = None
+        if self.sdc_faults is not None and self.sdc_faults.has_faults:
+            sdc_state = self.sdc_faults.activate()
+        self.sdc_state = sdc_state
+        if self.integrity and self.engine.integral_store is not None:
+            self.engine.integral_store.verify_reads = True
 
         with tracer.span("scf_setup", cat="scf", molecule=mol_label):
             s = overlap(self.basis)
@@ -237,6 +270,11 @@ class RHF:
             x = orthogonalizer(s)
             enuc = self.molecule.nuclear_repulsion()
             d = guess if guess is not None else core_guess(h, x, self.nocc)
+
+        monitor = None
+        if self.integrity:
+            monitor = IntegrityMonitor(overlap=s, nocc=self.nocc)
+        self.integrity_monitor = monitor
 
         diis = DIIS() if self.use_diis else None
         inc_builder = None
@@ -294,6 +332,8 @@ class RHF:
                     f = build_fock(d)
                 if fault_state is not None:
                     f = fault_state.corrupt_matrix(f, it, "fock")
+                if sdc_state is not None:
+                    f = sdc_state.corrupt_matrix(f, it, "fock")
                 if guard is not None and not guard.check_matrix("fock", f, it):
                     # arithmetic is broken, not merely slow: jump to the
                     # fallback rungs, apply them, rebuild this Fock once
@@ -319,6 +359,18 @@ class RHF:
                         raise guard.fail(
                             it, "Fock matrix is non-finite after rebuild"
                         )
+                if monitor is not None and not monitor.check_fock(f, it):
+                    # recovery rung 1: ERIs are density independent, so
+                    # one rebuild from the same density reproduces the
+                    # uncorrupted Fock bitwise
+                    monitor.record_recovery("recompute")
+                    with tracer.span("fock_rebuild", cat="scf"):
+                        f = build_fock(d)
+                    if not monitor.check_fock(f, it):
+                        raise IntegrityError(
+                            f"Fock matrix failed integrity checks after "
+                            f"rebuild at iteration {it}"
+                        )
                 e_elec = hf_electronic_energy(h, f, d)
                 history.append(e_elec + enuc)
                 if diis is not None:
@@ -336,19 +388,16 @@ class RHF:
                     PHASE_DIAG if self.density_method == "diagonalize"
                     else PHASE_PURIFY
                 )
-                with tracer.span(self.density_method, cat="scf"), \
-                        prof.phase(density_phase):
-                    if self.density_method == "diagonalize":
-                        if shift:
-                            d_new, eps, coeffs = density_from_fock(
-                                f_eff, x, self.nocc,
-                                level_shift=shift, overlap=s, density=d,
-                            )
-                        else:
-                            d_new, eps, coeffs = density_from_fock(
-                                f_eff, x, self.nocc
-                            )
-                    else:
+                def density_step():
+                    with tracer.span(self.density_method, cat="scf"), \
+                            prof.phase(density_phase):
+                        if self.density_method == "diagonalize":
+                            if shift:
+                                return density_from_fock(
+                                    f_eff, x, self.nocc,
+                                    level_shift=shift, overlap=s, density=d,
+                                )
+                            return density_from_fock(f_eff, x, self.nocc)
                         f_or = x.T @ f_eff @ x
                         if shift:
                             p = x.T @ s @ d @ s @ x
@@ -356,9 +405,13 @@ class RHF:
                                 np.eye(f_or.shape[0]) - 0.5 * (p + p.T)
                             )
                         res = purify(f_or, self.nocc)
-                        d_new = x @ res.density @ x.T
+                        return x @ res.density @ x.T, eps, coeffs
+
+                d_new, eps, coeffs = density_step()
                 if fault_state is not None:
                     d_new = fault_state.corrupt_matrix(d_new, it, "density")
+                if sdc_state is not None:
+                    d_new = sdc_state.corrupt_matrix(d_new, it, "density")
                 discarded = False
                 if guard is not None and not guard.check_matrix(
                     "density", d_new, it
@@ -369,6 +422,33 @@ class RHF:
                     guard.discard_iterate(it, "density")
                     d_new = d  # keep the last good density
                     discarded = True
+                if monitor is not None and not monitor.check_density(
+                    d_new, it
+                ):
+                    # recovery rung 1: redo the density step from the
+                    # same effective Fock (bitwise-identical when the
+                    # corruption was a one-shot memory flip)
+                    monitor.record_recovery("recompute")
+                    d_new, eps, coeffs = density_step()
+                    if not monitor.check_density(d_new, it):
+                        # rung 2: roll back to the last snapshot that
+                        # still passes both digest and ABFT validation
+                        ck = (
+                            load_latest_intact(self.checkpoint_dir)
+                            if self.checkpoint_dir is not None
+                            else None
+                        )
+                        if ck is not None and monitor.check_density(
+                            ck.density, it
+                        ):
+                            monitor.record_recovery("rollback")
+                            d_new = ck.density
+                        else:
+                            raise IntegrityError(
+                                f"density matrix failed integrity checks "
+                                f"after recompute at iteration {it} and no "
+                                f"verified checkpoint is available"
+                            )
                 if guard is not None:
                     d_new = guard.damp(d_new, d)
                 d_change = float(np.max(np.abs(d_new - d)))
@@ -405,10 +485,14 @@ class RHF:
                 ):
                     converged = True
             if self.checkpoint_dir is not None:
-                save_checkpoint(
+                ckpt_path = save_checkpoint(
                     self.checkpoint_dir, it, d, e_old, history, diis,
                     guard=guard,
                 )
+                if sdc_state is not None:
+                    # the sdc family's bad-disk model: the snapshot may
+                    # rot *after* the atomic rename said it was durable
+                    sdc_state.corrupt_file(ckpt_path)
             if self.on_iteration is not None:
                 # after the checkpoint is durable: a lease heartbeat here
                 # never vouches for progress that could still be lost
@@ -441,10 +525,29 @@ class RHF:
             if mean > 0:
                 balance = max(walls) / mean
         jk_threads = {"workers": len(worker_stats), "balance": balance}
+        integrity_summary = None
+        if monitor is not None:
+            store = eng.integral_store
+            if store is not None:
+                # fold the store's CRC accounting into the run-wide
+                # integrity story: every mismatched block was recomputed
+                monitor.record_check("store_crc", store.crc_checks)
+                monitor.record_detection("store_block", store.crc_mismatches)
+                monitor.record_recovery("eri_recompute", store.crc_mismatches)
+            integrity_summary = monitor.summary()
+            if sdc_state is not None:
+                integrity_summary["injections"] = sdc_state.summary()
+            from repro.obs.metrics import export_integrity
+
+            export_integrity(integrity_summary, registry=metrics)
+        extra = (
+            {} if integrity_summary is None
+            else {"integrity": integrity_summary}
+        )
         ledger.add_summary(
             molecule=mol_label, basis=self.basis_name,
             energy=e_elec + enuc, converged=converged, iterations=it,
-            eri_store=eri_store, jk_threads=jk_threads,
+            eri_store=eri_store, jk_threads=jk_threads, **extra,
         )
         metrics.gauge(
             "repro_scf_converged", "1 if the last SCF run converged",
@@ -463,4 +566,5 @@ class RHF:
             energy_history=history,
             guard_events=list(guard.events) if guard is not None else [],
             guard_summary=guard.summary() if guard is not None else None,
+            integrity_summary=integrity_summary,
         )

@@ -36,7 +36,10 @@ Crash-tolerance mechanics:
 
 Job specs are plain dicts.  ``kind="scf"`` (default) runs an RHF with
 ``molecule``/``basis``/``max_iter``/``jk_threads``/``cache_mb``/``guard``/
-``store_dir`` keys.  The other kinds are deterministic service-test
+``integrity``/``store_dir`` keys.  A job whose run raises
+:class:`~repro.runtime.sdc.IntegrityError` (corruption the recovery
+ladder could not repair) is quarantined like poison input -- retrying
+against the same corrupt state cannot help.  The other kinds are deterministic service-test
 personalities used by the chaos harness and the test suite: ``sleep``
 (optionally ``hang`` = no heartbeat), ``fail`` (raise until attempt N),
 ``poison`` (always raise ValueError), and ``oom`` (raise MemoryError
@@ -52,6 +55,7 @@ import time
 import traceback
 from pathlib import Path
 
+from repro.runtime.sdc import IntegrityError
 from repro.service.store import Job, JobStore
 
 #: exit code of a SIGTERM'd worker (128 + SIGTERM)
@@ -143,6 +147,7 @@ def _run_scf_job(store: JobStore, job: Job, owner: str) -> dict:
         cache_mb=spec.get("cache_mb"),
         integral_store=spec.get("store_dir"),
         guard=bool(spec.get("guard", False)),
+        integrity=bool(spec.get("integrity", False)),
         checkpoint_dir=str(ckpt_dir),
         restart=True,
         on_iteration=heartbeat,
@@ -239,6 +244,15 @@ def run_claimed_job(store: JobStore, job: Job, owner: str) -> str:
             event="degraded" if new_spec else "retry",
         )
         ledger.add_summary(error="MemoryError", degraded=rung or None)
+        return state or "lost"
+    except IntegrityError:
+        # unrecoverable data corruption: the recovery ladder (recompute,
+        # rollback) already failed inside the run, so re-running against
+        # the same corrupt state cannot help -> quarantine for a human
+        state = store.fail(
+            job.id, owner, traceback.format_exc(), retryable=False,
+        )
+        ledger.add_summary(error="data corruption (quarantined)")
         return state or "lost"
     except (ValueError, TypeError):
         # deterministic bad input: retrying cannot help -> quarantine

@@ -1,0 +1,515 @@
+"""Silent-data-corruption family: injection, detection, and recovery.
+
+Every test follows the same shape as the other fault families
+(``test_faults.py``, ``test_guard.py``, ``test_service.py``): plant a
+seeded corruption, then prove the integrity layer *detects* it, the
+recovery path *repairs* it bitwise, and a clean run raises *zero*
+false alarms.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chem.builders import water
+from repro.integrals.engine import MDEngine
+from repro.integrals.store import STORE_VERSION, ERIStore, StoreInvalidatedWarning
+from repro.obs.metrics import MetricsRegistry, export_integrity
+from repro.obs.verify import verify_tree
+from repro.runtime.sdc import (
+    IntegrityError,
+    IntegrityMonitor,
+    SDCFaultPlan,
+    flip_bit_in_file,
+    random_sdc_plan,
+)
+from repro.scf.checkpoint import (
+    CheckpointCorruptionWarning,
+    CheckpointIntegrityError,
+    load_checkpoint,
+    load_latest_intact,
+    save_checkpoint,
+)
+from repro.scf.fock import build_jk
+from repro.scf.hf import RHF
+
+from repro.chem.basis.basisset import BasisSet
+
+
+@pytest.fixture()
+def sto3g_basis():
+    return BasisSet.build(water(), "sto-3g")
+
+
+def rand_density(rng, n):
+    a = rng.standard_normal((n, n))
+    return 0.5 * (a + a.T)
+
+
+# -- fault plan mechanics ----------------------------------------------------
+
+
+class TestSDCFaultPlan:
+    def test_empty_plan_has_no_faults(self):
+        assert not SDCFaultPlan(seed=0).has_faults
+        assert SDCFaultPlan(seed=0, store_flips=1).has_faults
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SDCFaultPlan(seed=0, checkpoint_flip_rate=1.5)
+        with pytest.raises(ValueError):
+            SDCFaultPlan(seed=0, store_flips=-1)
+        with pytest.raises(ValueError):
+            SDCFaultPlan(seed=0, fock_flip_iterations=(0,))
+
+    def test_same_seed_same_plan(self):
+        assert random_sdc_plan(7) == random_sdc_plan(7)
+        assert random_sdc_plan(7) != random_sdc_plan(8)
+
+    def test_matrix_flip_fires_once_per_iteration(self):
+        state = SDCFaultPlan(seed=0, fock_flip_iterations=(2,)).activate()
+        a = np.eye(4) + 0.1
+        first = state.corrupt_matrix(a, 2, "fock")
+        assert np.max(np.abs(first - a)) > 0
+        assert state.matrices_corrupted == 1
+        again = state.corrupt_matrix(a, 2, "fock")
+        assert np.array_equal(again, a)  # same (iteration, target): no re-fire
+        assert state.matrices_corrupted == 1
+
+    def test_corruption_budget_caps_injections(self):
+        plan = SDCFaultPlan(seed=0, payload_flip_rate=1.0, max_corruptions=3)
+        state = plan.activate()
+        for _ in range(10):
+            state.corrupt_payload(np.ones(4))
+        assert state.payloads_corrupted == 3
+
+
+# -- checkpoint integrity ----------------------------------------------------
+
+
+class TestCheckpointIntegrity:
+    def _save(self, tmp_path, iteration, n=4, density=None):
+        rng = np.random.default_rng(iteration)
+        d = rand_density(rng, n) if density is None else density
+        return save_checkpoint(
+            tmp_path, iteration, d, -1.0 - iteration, [-1.0, -1.0 - iteration]
+        )
+
+    def test_round_trip_verifies(self, tmp_path):
+        path = self._save(tmp_path, 3)
+        ck = load_checkpoint(path, verify=True)
+        assert ck.iteration == 3
+
+    def test_bit_flip_is_detected(self, tmp_path):
+        path = self._save(tmp_path, 3)
+        rng = np.random.default_rng(0)
+        flip_bit_in_file(path, rng)
+        with pytest.raises(Exception):  # zipfile CRC or payload digest
+            load_checkpoint(path, verify=True)
+
+    def test_load_latest_intact_falls_back(self, tmp_path):
+        self._save(tmp_path, 1)
+        flipped = self._save(tmp_path, 2)
+        flip_bit_in_file(flipped, np.random.default_rng(0))
+        with pytest.warns(CheckpointCorruptionWarning):
+            ck = load_latest_intact(tmp_path)
+        assert ck is not None and ck.iteration == 1
+
+    def test_nan_density_rejected(self, tmp_path):
+        d = np.full((4, 4), np.nan)
+        path = self._save(tmp_path, 5, density=d)
+        # the digest is valid (it covers the NaNs), so this is the
+        # semantic-validation layer firing, not the checksum layer
+        with pytest.raises(CheckpointIntegrityError):
+            load_checkpoint(path, verify=True)
+        with pytest.warns(CheckpointCorruptionWarning):
+            assert load_latest_intact(tmp_path) is None
+
+    def test_mismatched_diis_shape_rejected(self, tmp_path):
+        # hand-built snapshot without a digest: only the shape check
+        # can reject it
+        path = tmp_path / "scf_ckpt_0001.npz"
+        np.savez(
+            path,
+            iteration=np.int64(1),
+            density=np.eye(4),
+            energy=np.float64(-1.0),
+            energy_history=np.array([-1.0]),
+            diis_focks=np.zeros((2, 3, 3)),  # wrong: should be (k, 4, 4)
+            diis_errors=np.zeros((2, 3, 3)),
+        )
+        with pytest.raises(CheckpointIntegrityError):
+            load_checkpoint(path, verify=True)
+
+    def test_tampered_array_fails_digest(self, tmp_path):
+        from repro.scf.checkpoint import payload_digest
+
+        payload = {
+            "iteration": np.int64(1),
+            "density": np.eye(4),
+            "energy": np.float64(-1.0),
+        }
+        digest = payload_digest(payload)
+        payload["density"] = np.eye(4) * 2
+        assert payload_digest(payload) != digest
+
+
+# -- store integrity ---------------------------------------------------------
+
+
+@pytest.fixture()
+def filled_store(tmp_path, sto3g_basis):
+    rng = np.random.default_rng(23)
+    d = rand_density(rng, sto3g_basis.nbf)
+    engine = MDEngine(sto3g_basis, store=tmp_path / "store")
+    j, k = build_jk(engine, d, tau=1e-11)
+    return tmp_path / "store", d, j, k
+
+
+class TestStoreIntegrity:
+    def test_finalize_records_crcs_and_digest(self, filled_store, sto3g_basis):
+        store_dir, *_ = filled_store
+        with np.load(store_dir / "index.npz") as idx:
+            assert idx["crcs"].dtype == np.uint32
+            assert len(idx["crcs"]) == len(idx["offsets"])
+        manifest = json.loads((store_dir / "manifest.json").read_text())
+        assert manifest["version"] == STORE_VERSION
+        assert len(manifest["blocks_sha256"]) == 64
+
+    def test_verified_read_rescues_corrupt_blocks(
+        self, filled_store, sto3g_basis
+    ):
+        store_dir, d, j_ref, k_ref = filled_store
+        plan = SDCFaultPlan(seed=5, store_flips=3)
+        state = plan.activate()
+        assert state.corrupt_store_dir(store_dir) == 3
+        engine = MDEngine(sto3g_basis, store=store_dir)
+        engine.integral_store.open_or_fill()
+        engine.integral_store.verify_reads = True
+        j, k = build_jk(engine, d, tau=1e-11)
+        store = engine.integral_store
+        assert store.crc_mismatches > 0
+        assert engine.crc_rescues > 0
+        # recomputed blocks are bitwise what the clean engine produces
+        assert np.array_equal(j, j_ref)
+        assert np.array_equal(k, k_ref)
+
+    def test_unverified_read_accepts_corruption_silently(
+        self, filled_store, sto3g_basis
+    ):
+        # the hazard the CRC framing closes: without verify_reads the
+        # flipped block flows straight into J/K
+        store_dir, d, j_ref, k_ref = filled_store
+        SDCFaultPlan(seed=5, store_flips=3).activate().corrupt_store_dir(
+            store_dir
+        )
+        engine = MDEngine(sto3g_basis, store=store_dir)
+        engine.integral_store.open_or_fill()
+        j, k = build_jk(engine, d, tau=1e-11)
+        assert engine.integral_store.crc_mismatches == 0
+        assert not (np.array_equal(j, j_ref) and np.array_equal(k, k_ref))
+
+    def test_verify_stacked_flags_exactly_the_bad_rows(
+        self, filled_store, sto3g_basis
+    ):
+        store_dir, *_ = filled_store
+        store = ERIStore(store_dir, sto3g_basis).open_or_fill()
+        assert store.ready
+        offsets = store._offsets[:6].astype(np.int64)
+        sizes = np.diff(np.append(store._offsets, store._flat.size))
+        width = int(sizes[0])
+        assert np.all(sizes[:6] == width)  # uniform leading class
+        clean = store.read_stacked(offsets, width, (width,))
+        tampered = clean.copy()
+        tampered[2] *= 1.0000001
+        good = store.verify_stacked(offsets, tampered)
+        assert not good[2] and good.sum() == 5
+        assert store.crc_checks == 6
+        # scrub-on-first-read: intact rows are now marked and skipped,
+        # but the mismatching row is re-checked on every read
+        good = store.verify_stacked(offsets, tampered)
+        assert not good[2] and good.sum() == 5
+        assert store.crc_checks == 7
+        good = store.verify_stacked(offsets, clean)
+        assert good.all()
+        assert store.crc_mismatches == 2
+
+    def test_version_mismatch_invalidates_with_reason(
+        self, filled_store, sto3g_basis
+    ):
+        store_dir, *_ = filled_store
+        manifest = json.loads((store_dir / "manifest.json").read_text())
+        manifest["version"] = STORE_VERSION - 1
+        (store_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.warns(StoreInvalidatedWarning, match="format version"):
+            store = ERIStore(store_dir, sto3g_basis).open_or_fill()
+        assert store.filling and not store.ready
+
+
+# -- GA payload integrity ----------------------------------------------------
+
+
+class TestGAPayloadIntegrity:
+    def _ga(self, checksums, sdc=None, monitor=None):
+        from repro.runtime.ga import GlobalArray, block_bounds
+        from repro.runtime.machine import LONESTAR
+        from repro.runtime.network import CommStats
+
+        n = 8
+        bounds = block_bounds(n, 2)
+        stats = CommStats(4, LONESTAR)
+        ga = GlobalArray(
+            stats, n, n, bounds, bounds,
+            checksums=checksums, sdc=sdc, monitor=monitor,
+        )
+        return ga, stats, n
+
+    def _drive(self, ga, n, nops=24):
+        rng = np.random.default_rng(11)
+        expected = np.zeros((n, n))
+        for k in range(nops):
+            r0, c0 = int(rng.integers(n - 2)), int(rng.integers(n - 2))
+            block = rng.standard_normal((2, 2))
+            ga.acc(k % 4, r0, c0, block, tag=("t", k))
+            expected[r0:r0 + 2, c0:c0 + 2] += block
+        return expected
+
+    def test_checksummed_acc_survives_payload_corruption(self):
+        state = SDCFaultPlan(seed=1, payload_flip_rate=0.3).activate()
+        monitor = IntegrityMonitor()
+        ga, _stats, n = self._ga(True, sdc=state, monitor=monitor)
+        expected = self._drive(ga, n)
+        assert state.payloads_corrupted > 0
+        assert ga.checksum_rejects == state.payloads_corrupted
+        assert monitor.detections.get("ga_payload") == ga.checksum_rejects
+        assert np.array_equal(ga.to_numpy(), expected)
+
+    def test_unchecksummed_acc_is_silently_wrong(self):
+        state = SDCFaultPlan(seed=1, payload_flip_rate=0.3).activate()
+        ga, _stats, n = self._ga(False, sdc=state)
+        expected = self._drive(ga, n)
+        assert state.payloads_corrupted > 0
+        assert ga.checksum_rejects == 0
+        assert not np.array_equal(ga.to_numpy(), expected)
+
+    def test_crc_trailer_is_charged_as_overhead(self):
+        ga_off, stats_off, n = self._ga(False)
+        self._drive(ga_off, n)
+        ga_on, stats_on, _ = self._ga(True)
+        self._drive(ga_on, n)
+        assert stats_on.bytes.sum() > stats_off.bytes.sum()
+
+
+# -- ABFT detectors ----------------------------------------------------------
+
+
+class TestIntegrityMonitor:
+    def _sd(self, n=5, nocc=2):
+        rng = np.random.default_rng(3)
+        s = np.eye(n)
+        c = rng.standard_normal((n, nocc))
+        c, _ = np.linalg.qr(c)
+        d = c @ c.T  # idempotent, Tr(D S) = nocc
+        return s, d
+
+    def test_clean_matrices_pass(self):
+        s, d = self._sd()
+        mon = IntegrityMonitor(overlap=s, nocc=2)
+        f = 0.5 * (d + d.T) - np.eye(5)
+        assert mon.check_fock(f, 1)
+        assert mon.check_density(d, 1)
+        assert mon.detections_total == 0
+        assert mon.checks_total > 0
+
+    def test_exponent_flip_breaks_symmetry_detector(self):
+        s, d = self._sd()
+        mon = IntegrityMonitor(overlap=s, nocc=2)
+        state = SDCFaultPlan(seed=2, fock_flip_iterations=(1,)).activate()
+        bad = state.corrupt_matrix(d.copy(), 1, "fock")
+        assert not mon.check_fock(bad, 1)
+        assert mon.detections.get("fock_matrix") == 1
+
+    def test_trace_detector_catches_scaled_density(self):
+        s, d = self._sd()
+        mon = IntegrityMonitor(overlap=s, nocc=2)
+        assert not mon.check_density(1.5 * d, 1)  # symmetric, wrong trace
+        assert mon.detections.get("density_matrix") == 1
+
+    def test_nonfinite_always_detected(self):
+        s, d = self._sd()
+        mon = IntegrityMonitor(overlap=s, nocc=2)
+        bad = d.copy()
+        bad[0, 1] = np.inf
+        assert not mon.check_density(bad, 1)
+
+    def test_chunk_bound_detector(self):
+        mon = IntegrityMonitor()
+        blocks = np.full((3, 4), 0.5)
+        assert mon.check_chunk_bound(blocks, bound=1.0)
+        blocks[1, 2] = 1e9
+        assert not mon.check_chunk_bound(blocks, bound=1.0)
+        assert mon.detections.get("eri_chunk") == 1
+
+    def test_metrics_export(self):
+        s, d = self._sd()
+        mon = IntegrityMonitor(overlap=s, nocc=2)
+        mon.check_density(d, 1)
+        mon.check_density(1.5 * d, 2)
+        mon.record_recovery("recompute")
+        reg = MetricsRegistry()
+        export_integrity(mon.summary(), registry=reg)
+        text = reg.to_prometheus()
+        assert "repro_integrity_checks_total" in text
+        assert "repro_integrity_corruptions_detected_total" in text
+        assert "repro_integrity_recoveries_total" in text
+
+
+# -- SCF recovery ladder -----------------------------------------------------
+
+
+class TestSCFRecovery:
+    def test_matrix_flips_recovered_bitwise(self, tmp_path):
+        mol = water()
+        clean = RHF(mol, basis_name="sto-3g").run()
+        plan = SDCFaultPlan(
+            seed=4, fock_flip_iterations=(2,), density_flip_iterations=(3,)
+        )
+        rhf = RHF(
+            mol, basis_name="sto-3g", integrity=True, sdc_faults=plan,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        res = rhf.run()
+        assert res.converged
+        s = res.integrity_summary
+        assert s["detections"].get("fock_matrix", 0) >= 1
+        assert s["detections"].get("density_matrix", 0) >= 1
+        assert s["recoveries"].get("recompute", 0) >= 2
+        # recompute is bitwise: the trajectory is the clean trajectory
+        assert res.energy == clean.energy
+        assert np.array_equal(res.fock, clean.fock)
+
+    def test_clean_run_zero_false_positives(self):
+        res = RHF(water(), basis_name="sto-3g", integrity=True).run()
+        s = res.integrity_summary
+        assert res.converged
+        assert s["detections_total"] == 0
+        assert s["recoveries_total"] == 0
+        assert s["checks_total"] > 0
+
+    def test_integrity_off_has_no_summary(self):
+        res = RHF(water(), basis_name="sto-3g").run()
+        assert res.integrity_summary is None
+
+
+# -- service quarantine ------------------------------------------------------
+
+
+class TestServiceQuarantine:
+    def test_integrity_error_quarantines_not_retries(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.service import worker as worker_mod
+        from repro.service.store import JobStore
+
+        store = JobStore(tmp_path / "queue")
+        job = store.submit({"kind": "scf", "molecule": "water"})
+
+        def corrupt_run(store_, job_, owner_):
+            raise IntegrityError("unrecoverable corruption (injected)")
+
+        monkeypatch.setattr(worker_mod, "_run_scf_job", corrupt_run)
+        claimed = store.claim("w1")
+        assert claimed is not None
+        outcome = worker_mod.run_claimed_job(store, claimed, "w1")
+        assert outcome == "quarantined"
+        assert store.get(job.id).state == "quarantined"
+        assert store.get(job.id).attempts == 1  # no retry burn-down
+
+
+# -- offline audit -----------------------------------------------------------
+
+
+class TestVerifyTree:
+    def test_clean_tree_is_clean(self, filled_store, tmp_path):
+        rng = np.random.default_rng(0)
+        save_checkpoint(
+            tmp_path / "ckpt", 1, rand_density(rng, 4), -1.0, [-1.0]
+        )
+        report = verify_tree(tmp_path)
+        assert report.clean
+        assert report.stores_audited == 1
+        assert report.blocks_checked > 0
+        assert report.checkpoints_audited == 1
+
+    def test_corrupted_tree_is_found(self, filled_store, tmp_path):
+        store_dir, *_ = filled_store
+        rng = np.random.default_rng(0)
+        path = save_checkpoint(
+            tmp_path / "ckpt", 1, rand_density(rng, 4), -1.0, [-1.0]
+        )
+        SDCFaultPlan(seed=6, store_flips=2).activate().corrupt_store_dir(
+            store_dir
+        )
+        flip_bit_in_file(path, rng)
+        report = verify_tree(tmp_path)
+        assert not report.clean
+        kinds = {f.kind for f in report.findings}
+        assert kinds == {"store", "checkpoint"}
+        # 2 block CRCs + whole-file digest + 1 checkpoint
+        assert len(report.findings) >= 4
+        payload = report.to_json()
+        assert payload["clean"] is False
+        assert len(payload["findings"]) == len(report.findings)
+
+    def test_missing_root_is_a_finding(self, tmp_path):
+        report = verify_tree(tmp_path / "nope")
+        assert not report.clean
+
+    def test_pre_v2_store_flagged_unverifiable(self, filled_store):
+        store_dir, *_ = filled_store
+        manifest = json.loads((store_dir / "manifest.json").read_text())
+        manifest["version"] = 1
+        (store_dir / "manifest.json").write_text(json.dumps(manifest))
+        report = verify_tree(store_dir)
+        assert not report.clean
+        assert "predates integrity framing" in report.findings[0].problem
+
+
+# -- the chaos gate ----------------------------------------------------------
+
+
+class TestSDCChaosGate:
+    def test_sdc_chaos_gate_passes(self, tmp_path):
+        from repro.fock.chaos import run_sdc_chaos
+
+        res = run_sdc_chaos(
+            molecule="water", basis_name="sto-3g", seed=3,
+            workdir=tmp_path / "work",
+        )
+        assert res.injections_total > 0
+        assert res.silent_total == 0
+        assert res.false_positives == 0
+        assert res.energy_error <= 1e-12
+        assert res.fock_error <= 1e-12
+        assert res.ga_error == 0.0
+        assert res.checkpoint_intact
+        assert res.passed
+        # the kept work tree is auditable offline, and the audit finds
+        # the planted rot
+        report = verify_tree(tmp_path / "work")
+        assert not report.clean
+
+    def test_flip_bit_in_file_changes_exactly_one_bit(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        data = bytes(range(256))
+        path.write_bytes(data)
+        flip_bit_in_file(path, np.random.default_rng(9))
+        after = path.read_bytes()
+        assert len(after) == len(data)
+        diff = [
+            bin(a ^ b).count("1") for a, b in zip(data, after) if a != b
+        ]
+        assert diff == [1]

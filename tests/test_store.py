@@ -18,6 +18,7 @@ from repro.chem.basis.basisset import BasisSet
 from repro.chem.builders import water
 from repro.integrals.engine import MDEngine
 from repro.integrals.store import (
+    STORE_VERSION,
     ERIStore,
     StoreInvalidatedWarning,
     basis_fingerprint,
@@ -119,7 +120,7 @@ class TestManifestProvenance:
         engine = MDEngine(sto3g_basis, store=tmp_path / "store")
         build_jk(engine, d, tau=1e-11)
         manifest = json.loads((tmp_path / "store" / "manifest.json").read_text())
-        assert manifest["version"] == 1
+        assert manifest["version"] == STORE_VERSION
         assert manifest["basis_sha256"] == basis_fingerprint(sto3g_basis)
         assert manifest["basis_name"] == "sto-3g"
         assert manifest["tau"] == 1e-11
